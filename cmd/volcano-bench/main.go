@@ -1,0 +1,91 @@
+// Command volcano-bench regenerates the paper's measurements (§5): the
+// exchange-overhead table (T1), the packet-size sweep of Figures 2a/2b,
+// and the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	volcano-bench                      # everything, paper-scale (100k records)
+//	volcano-bench -exp t1              # just the overhead table
+//	volcano-bench -exp fig2a           # just the packet-size sweep
+//	volcano-bench -exp ablations       # A1..A10
+//	volcano-bench -records 20000       # smaller/faster runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: t1, fig2a, fig2b, ablations, all")
+	records := flag.Int("records", bench.PaperRecords, "records for the record-passing program")
+	joinRows := flag.Int("joinrows", 20000, "rows per side for the match ablation")
+	flag.Parse()
+
+	if err := run(*exp, *records, *joinRows); err != nil {
+		fmt.Fprintln(os.Stderr, "volcano-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, records, joinRows int) error {
+	w := os.Stdout
+	runT1 := exp == "t1" || exp == "all"
+	runFig2 := exp == "fig2a" || exp == "fig2b" || exp == "all"
+	runAbl := exp == "ablations" || exp == "all"
+	if !runT1 && !runFig2 && !runAbl {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+
+	if runT1 {
+		r, err := bench.RunT1(records)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		fmt.Fprintln(w)
+	}
+
+	if runFig2 {
+		r, err := bench.RunFig2(records)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		fmt.Fprintln(w)
+	}
+
+	if runAbl {
+		type namedAbl struct {
+			name string
+			f    func() (*bench.Ablation, error)
+		}
+		abls := []namedAbl{
+			{"A1", func() (*bench.Ablation, error) { return bench.AblationFlowControl(records) }},
+			{"A2", func() (*bench.Ablation, error) { return bench.AblationForkScheme(8, 2*time.Millisecond) }},
+			{"A3", func() (*bench.Ablation, error) { return bench.AblationInline(records) }},
+			{"A4", func() (*bench.Ablation, error) { return bench.AblationPartitioning(records) }},
+			{"A5", func() (*bench.Ablation, error) { return bench.AblationBroadcast(records / 2) }},
+			{"A6", func() (*bench.Ablation, error) { return bench.AblationMatch(joinRows) }},
+			{"A7", func() (*bench.Ablation, error) { return bench.AblationDivision(2000, 16, 4) }},
+			{"A8", func() (*bench.Ablation, error) { return bench.AblationSupportFunctions(records) }},
+			{"A9", func() (*bench.Ablation, error) { return bench.AblationBufferLocking(records, 8) }},
+			{"A10", func() (*bench.Ablation, error) { return bench.AblationParallelSort(records, 4) }},
+			{"A11", func() (*bench.Ablation, error) { return bench.AblationSharedNothing(records, 500*time.Microsecond) }},
+			{"A12", func() (*bench.Ablation, error) { return bench.AblationRunGeneration(records, 1024) }},
+		}
+		for _, na := range abls {
+			a, err := na.f()
+			if err != nil {
+				return fmt.Errorf("%s: %w", na.name, err)
+			}
+			a.Print(w)
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+// Command volcano runs a plan-language query over CSV data.
+//
+// Usage:
+//
+//	volcano -schema emp=id:int,dept:int,salary:float,name:string \
+//	        -load emp=emp.csv \
+//	        [-partition emp:4] \
+//	        (-plan query.vp | -q 'scan emp | filter dept = 2')
+//
+// The plan language is documented in internal/plan (and the README).
+// Tables are loaded into buffer-managed virtual devices; -partition
+// splits a loaded table into k partition files "name.0".."name.k-1"
+// (round robin) for use with pscan under an exchange operator.
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/record"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/device"
+	"repro/internal/storage/file"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var schemas, loads, partitions repeated
+	planFile := flag.String("plan", "", "file containing the plan script")
+	query := flag.String("q", "", "inline plan script")
+	frames := flag.Int("frames", 4096, "buffer pool frames")
+	explain := flag.Bool("explain", false, "print the plan instead of running it")
+	analyze := flag.Bool("analyze", false, "after running, print the plan with per-operator statistics")
+	maxRows := flag.Int("maxrows", 0, "print at most this many rows (0 = all)")
+	db := flag.String("db", "", "durable database file: created if absent, loaded tables persist")
+	dbPages := flag.Int("dbpages", 1<<18, "capacity in pages when creating a new -db file")
+	flag.Var(&schemas, "schema", "table schema: name=field:type,... (repeatable)")
+	flag.Var(&loads, "load", "load CSV: name=path (repeatable; needs -schema for name)")
+	flag.Var(&partitions, "partition", "split a table: name:k (repeatable)")
+	flag.Parse()
+
+	if err := run(*planFile, *query, *frames, *explain, *analyze, *maxRows, *db, *dbPages, schemas, loads, partitions); err != nil {
+		fmt.Fprintln(os.Stderr, "volcano:", err)
+		os.Exit(1)
+	}
+}
+
+func run(planFile, query string, frames int, explain, analyze bool, maxRows int, db string, dbPages int, schemas, loads, partitions []string) error {
+	script := query
+	if planFile != "" {
+		b, err := os.ReadFile(planFile)
+		if err != nil {
+			return err
+		}
+		script = string(b)
+	}
+	if script == "" {
+		return fmt.Errorf("no plan: use -plan FILE or -q 'SCRIPT'")
+	}
+	node, err := plan.Parse(script)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(plan.Explain(node))
+		return nil
+	}
+
+	// Set up the world. With -db the base volume is a durable disk
+	// volume; otherwise a throwaway memory volume.
+	reg := device.NewRegistry()
+	baseID := reg.NextID()
+	durable := db != ""
+	created := false
+	if durable {
+		if _, statErr := os.Stat(db); statErr != nil {
+			d, err := device.NewDisk(baseID, db, uint32(dbPages))
+			if err != nil {
+				return err
+			}
+			created = true
+			if err := reg.Mount(d); err != nil {
+				return err
+			}
+		} else {
+			d, err := device.OpenDisk(baseID, db)
+			if err != nil {
+				return err
+			}
+			if err := reg.Mount(d); err != nil {
+				return err
+			}
+		}
+	} else if err := reg.Mount(device.NewMem(baseID)); err != nil {
+		return err
+	}
+	tempID := reg.NextID()
+	if err := reg.Mount(device.NewMem(tempID)); err != nil {
+		return err
+	}
+	defer reg.CloseAll()
+	pool := buffer.NewPool(reg, frames, buffer.TwoLevel)
+	var base *file.Volume
+	switch {
+	case durable && created:
+		var err error
+		if base, err = file.Format(pool, baseID); err != nil {
+			return err
+		}
+	case durable:
+		var err error
+		if base, err = file.OpenVolume(pool, baseID); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "database %s: %d tables, %d indexes\n", db, len(base.List()), len(base.Indexes()))
+	default:
+		base = file.NewVolume(pool, baseID)
+	}
+	env := core.NewEnv(pool, file.NewVolume(pool, tempID))
+
+	schemaByName := map[string]*record.Schema{}
+	for _, s := range schemas {
+		name, spec, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("bad -schema %q (want name=field:type,...)", s)
+		}
+		sch, err := parseSchema(spec)
+		if err != nil {
+			return fmt.Errorf("-schema %s: %w", name, err)
+		}
+		schemaByName[name] = sch
+	}
+
+	cat := plan.VolumeCatalog{base}
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok {
+			return fmt.Errorf("bad -load %q (want name=path)", l)
+		}
+		sch, ok := schemaByName[name]
+		if !ok {
+			return fmt.Errorf("-load %s: no -schema for table", name)
+		}
+		f, err := loadCSV(base, name, sch, path)
+		if err != nil {
+			return fmt.Errorf("-load %s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d records, %d pages\n", name, f.Records(), f.Pages())
+	}
+
+	for _, p := range partitions {
+		name, kstr, ok := strings.Cut(p, ":")
+		k, err := strconv.Atoi(kstr)
+		if !ok || err != nil || k < 1 {
+			return fmt.Errorf("bad -partition %q (want name:k)", p)
+		}
+		src, err := cat.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("-partition %s: %w", name, err)
+		}
+		if err := partitionTable(base, src, name, k); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "partitioned %s into %d files\n", name, k)
+	}
+
+	var it core.Iterator
+	var analysis *plan.Analysis
+	if analyze {
+		var err error
+		it, analysis, err = plan.BuildAnalyzed(env, cat, node)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		it, err = plan.Build(env, cat, node)
+		if err != nil {
+			return err
+		}
+	}
+	if err := printResult(it, maxRows); err != nil {
+		return err
+	}
+	if analysis != nil {
+		fmt.Fprint(os.Stderr, analysis.String())
+	}
+	if durable {
+		if err := base.Save(); err != nil {
+			return fmt.Errorf("saving database: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "database saved to %s\n", db)
+	}
+	return nil
+}
+
+// parseSchema parses "id:int,name:string,...".
+func parseSchema(spec string) (*record.Schema, error) {
+	var fields []record.Field
+	for _, part := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad field %q (want name:type)", part)
+		}
+		var t record.Type
+		switch strings.ToLower(typ) {
+		case "int":
+			t = record.TInt
+		case "float":
+			t = record.TFloat
+		case "bool":
+			t = record.TBool
+		case "string":
+			t = record.TString
+		case "bytes":
+			t = record.TBytes
+		default:
+			return nil, fmt.Errorf("unknown type %q", typ)
+		}
+		fields = append(fields, record.Field{Name: name, Type: t})
+	}
+	return record.NewSchema(fields...)
+}
+
+func loadCSV(vol *file.Volume, name string, sch *record.Schema, path string) (*file.File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	r := csv.NewReader(fh)
+	r.ReuseRecord = true
+	f, err := vol.Create(name, sch)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]record.Value, sch.NumFields())
+	for {
+		row, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if len(row) != sch.NumFields() {
+			return nil, fmt.Errorf("row has %d columns, schema has %d", len(row), sch.NumFields())
+		}
+		for i, cell := range row {
+			v, err := parseValue(sch.Field(i).Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", sch.Field(i).Name, err)
+			}
+			vals[i] = v
+		}
+		data, err := sch.Encode(vals)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Insert(data); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func parseValue(t record.Type, cell string) (record.Value, error) {
+	switch t {
+	case record.TInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+		return record.Int(i), err
+	case record.TFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		return record.Float(f), err
+	case record.TBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(cell))
+		return record.Bool(b), err
+	case record.TBytes:
+		return record.Bytes([]byte(cell)), nil
+	default:
+		return record.Str(cell), nil
+	}
+}
+
+func partitionTable(vol *file.Volume, src *file.File, name string, k int) error {
+	parts := make([]*file.File, k)
+	for p := range parts {
+		pf, err := vol.Create(fmt.Sprintf("%s.%d", name, p), src.Schema())
+		if err != nil {
+			return err
+		}
+		parts[p] = pf
+	}
+	sc := src.NewScan(false)
+	defer sc.Close()
+	i := 0
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		_, err = parts[i%k].Insert(r.Data)
+		r.Unfix()
+		if err != nil {
+			return err
+		}
+		i++
+	}
+}
+
+func printResult(it core.Iterator, maxRows int) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	sch := it.Schema()
+	var header []string
+	for i := 0; i < sch.NumFields(); i++ {
+		header = append(header, sch.Field(i).Name)
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	n := 0
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			_ = it.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if maxRows == 0 || n < maxRows {
+			vals, err := sch.Decode(r.Data)
+			if err != nil {
+				r.Unfix()
+				_ = it.Close()
+				return err
+			}
+			cells := make([]string, len(vals))
+			for i, v := range vals {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		r.Unfix()
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
+	return it.Close()
+}

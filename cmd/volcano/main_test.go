@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const empCSV = "0,0,1000.5,alice\n1,1,2000.0,bob\n2,0,3000.25,carol\n3,1,4000.0,dave\n"
+
+func TestRunInMemoryQuery(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	err := run("", "scan emp | filter dept = 0 | sort salary desc", 256, false, false, 0, "", 0,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplainOnly(t *testing.T) {
+	if err := run("", "scan emp | sort id", 256, true, false, 0, "", 0, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	err := run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPartitionedParallelQuery(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	err := run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+		512, false, false, 0, "", 0,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, []string{"emp:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanFile(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	planPath := writeCSV(t, "q.vp", "scan emp\n| project name\n")
+	err := run(planPath, "", 256, false, false, 2, "", 0,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDurableDatabaseAcrossInvocations(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "test.vdb")
+	csv := writeCSV(t, "emp.csv", empCSV)
+	// First invocation: create the db, load the table.
+	err := run("", "scan emp | agg group dept compute count", 256, false, false, 0, dbPath, 4096,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second invocation: reopen, query persisted data without loading.
+	err = run("", "scan emp | filter salary > 2500.0", 256, false, false, 0, dbPath, 4096, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(t *testing.T) error
+	}{
+		{"no plan", func(t *testing.T) error {
+			return run("", "", 256, false, false, 0, "", 0, nil, nil, nil)
+		}},
+		{"bad plan", func(t *testing.T) error {
+			return run("", "bogus stage", 256, false, false, 0, "", 0, nil, nil, nil)
+		}},
+		{"missing plan file", func(t *testing.T) error {
+			return run(filepath.Join(t.TempDir(), "nope.vp"), "", 256, false, false, 0, "", 0, nil, nil, nil)
+		}},
+		{"bad schema flag", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0, []string{"broken"}, nil, nil)
+		}},
+		{"bad schema type", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0, []string{"t=a:blob"}, nil, nil)
+		}},
+		{"load without schema", func(t *testing.T) error {
+			csv := writeCSV(t, "x.csv", "1\n")
+			return run("", "scan t", 256, false, false, 0, "", 0, nil, []string{"t=" + csv}, nil)
+		}},
+		{"bad load flag", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0, nil, []string{"broken"}, nil)
+		}},
+		{"load missing file", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0,
+				[]string{"t=a:int"}, []string{"t=/nonexistent.csv"}, nil)
+		}},
+		{"csv column mismatch", func(t *testing.T) error {
+			csv := writeCSV(t, "x.csv", "1,2\n")
+			return run("", "scan t", 256, false, false, 0, "", 0,
+				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
+		}},
+		{"csv bad int", func(t *testing.T) error {
+			csv := writeCSV(t, "x.csv", "notanint\n")
+			return run("", "scan t", 256, false, false, 0, "", 0,
+				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
+		}},
+		{"bad partition flag", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0, nil, nil, []string{"t:x"})
+		}},
+		{"partition of unloaded table", func(t *testing.T) error {
+			return run("", "scan t", 256, false, false, 0, "", 0, nil, nil, []string{"t:2"})
+		}},
+		{"query unknown table", func(t *testing.T) error {
+			return run("", "scan nosuch", 256, false, false, 0, "", 0, nil, nil, nil)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.f(t); err == nil {
+				t.Fatalf("%s: expected error", c.name)
+			}
+		})
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	for _, tc := range []struct {
+		typ  string
+		cell string
+		ok   bool
+	}{
+		{"int", " 42 ", true}, {"int", "x", false},
+		{"float", "1.5", true}, {"float", "", false},
+		{"bool", "true", true}, {"bool", "maybe", false},
+		{"string", "anything", true},
+		{"bytes", "raw", true},
+	} {
+		sch, err := parseSchema("f:" + tc.typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = parseValue(sch.Field(0).Type, tc.cell)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseValue(%s, %q): err=%v want ok=%v", tc.typ, tc.cell, err, tc.ok)
+		}
+	}
+}

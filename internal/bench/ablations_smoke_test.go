@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestSmokeAblations(t *testing.T) {
+	type run struct {
+		name string
+		f    func() (*Ablation, error)
+	}
+	runs := []run{
+		{"A1", func() (*Ablation, error) { return AblationFlowControl(5000) }},
+		{"A2", func() (*Ablation, error) { return AblationForkScheme(8, time.Millisecond) }},
+		{"A3", func() (*Ablation, error) { return AblationInline(5000) }},
+		{"A4", func() (*Ablation, error) { return AblationPartitioning(5000) }},
+		{"A5", func() (*Ablation, error) { return AblationBroadcast(3000) }},
+		{"A6", func() (*Ablation, error) { return AblationMatch(2000) }},
+		{"A7", func() (*Ablation, error) { return AblationDivision(300, 10, 3) }},
+		{"A8", func() (*Ablation, error) { return AblationSupportFunctions(10000) }},
+		{"A9", func() (*Ablation, error) { return AblationBufferLocking(5000, 4) }},
+		{"A10", func() (*Ablation, error) { return AblationParallelSort(10000, 4) }},
+	}
+	for _, r := range runs {
+		a, err := r.f()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		a.Print(os.Stderr)
+	}
+}
+
+func TestSmokeSharedNothing(t *testing.T) {
+	a, err := AblationSharedNothing(5000, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Print(os.Stderr)
+}
+
+func TestSmokeRunGeneration(t *testing.T) {
+	a, err := AblationRunGeneration(20000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Print(os.Stderr)
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestSmokeT1(t *testing.T) {
+	r, err := RunT1(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Print(testWriter{t})
+	if !r.InlineSlowerThanDirect() {
+		t.Log("warning: inline not slower than direct (timing noise)")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) { w.t.Log(string(p)); return len(p), nil }
+
+func TestSmokeFig2Point(t *testing.T) {
+	p, err := RunFig2aPoint(20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(p.Elapsed)
+}

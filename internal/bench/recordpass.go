@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The record-passing program of §5: create records filled with four
+// integers, pass them over a number of exchange boundaries, and unfix
+// them at the sink. The paper measures (a) no exchange, (b) three
+// exchanges in the mode that creates no new processes, and (c) a pipeline
+// of four process groups, with and without flow control; Figure 2a/2b
+// vary the packet size on a 3 -> 3 -> 3 -> 1 topology.
+
+// PassConfig parameterises one record-passing run.
+type PassConfig struct {
+	Records     int
+	Stages      int // number of exchange boundaries (0 = direct)
+	Inline      bool
+	FlowControl bool
+	Slack       int
+	PacketSize  int
+	// Groups is the producer-group size at each boundary for the
+	// Figure-2 topology; len(Groups) == Stages. nil = all size 1.
+	Groups []int
+}
+
+// PassResult reports one run.
+type PassResult struct {
+	Cfg       PassConfig
+	Elapsed   time.Duration
+	Records   int
+	Exchanges int
+	// PerRecordPerExchange is the derived overhead (only meaningful when
+	// compared against a baseline run, as in the paper).
+	PerRecord time.Duration
+}
+
+// RunPass executes the record-passing program under the given config.
+func RunPass(cfg PassConfig) (PassResult, error) {
+	if cfg.Records <= 0 {
+		return PassResult{}, fmt.Errorf("bench: no records to pass")
+	}
+	frames := 2048
+	w, err := NewWorld(frames, 0)
+	if err != nil {
+		return PassResult{}, err
+	}
+	defer w.Close()
+
+	root, err := buildPassTree(w, cfg)
+	if err != nil {
+		return PassResult{}, err
+	}
+
+	start := time.Now()
+	n, err := core.Drain(root)
+	elapsed := time.Since(start)
+	if err != nil {
+		return PassResult{}, err
+	}
+	if n != cfg.Records {
+		return PassResult{}, fmt.Errorf("bench: passed %d records, want %d", n, cfg.Records)
+	}
+	if err := w.CheckBalanced(); err != nil {
+		return PassResult{}, err
+	}
+	res := PassResult{
+		Cfg:       cfg,
+		Elapsed:   elapsed,
+		Records:   n,
+		Exchanges: cfg.Stages,
+		PerRecord: elapsed / time.Duration(n),
+	}
+	return res, nil
+}
+
+// buildPassTree assembles generators and exchange stages per the config.
+func buildPassTree(w *World, cfg PassConfig) (core.Iterator, error) {
+	groups := cfg.Groups
+	if groups == nil {
+		groups = make([]int, cfg.Stages)
+		for i := range groups {
+			groups[i] = 1
+		}
+	}
+	if len(groups) != cfg.Stages {
+		return nil, fmt.Errorf("bench: %d group sizes for %d stages", len(groups), cfg.Stages)
+	}
+
+	// makeLevel returns a factory producing the subtree feeding stage i
+	// for a given member g of that stage's producer group.
+	var makeLevel func(stage int) func(g int) (core.Iterator, error)
+	makeLevel = func(stage int) func(g int) (core.Iterator, error) {
+		if stage == 0 {
+			// Source level: the generator group of size groups[0] (or a
+			// single generator when there are no exchanges).
+			src := 1
+			if cfg.Stages > 0 {
+				src = groups[0]
+			}
+			per := cfg.Records / src
+			extra := cfg.Records % src
+			return func(g int) (core.Iterator, error) {
+				n := per
+				if g < extra {
+					n++
+				}
+				return NewGen(w.Env, n, int64(g)*1_000_000), nil
+			}
+		}
+		lower := makeLevel(stage - 1)
+		producers := groups[stage-1]
+		consumers := 1
+		if stage < cfg.Stages {
+			consumers = groups[stage]
+		}
+		x, err := core.NewExchange(core.ExchangeConfig{
+			Schema:      GenSchema,
+			Producers:   producers,
+			Consumers:   consumers,
+			PacketSize:  cfg.PacketSize,
+			FlowControl: cfg.FlowControl,
+			Slack:       cfg.Slack,
+			Inline:      cfg.Inline,
+			NewProducer: func(g int) (core.Iterator, error) { return lower(g) },
+		})
+		if err != nil {
+			return func(int) (core.Iterator, error) { return nil, err }
+		}
+		return func(g int) (core.Iterator, error) {
+			return x.Consumer(g), nil
+		}
+	}
+
+	if cfg.Stages == 0 {
+		return makeLevel(0)(0)
+	}
+	if cfg.Inline {
+		// Inline boundaries must have equal group sizes; the record-pass
+		// pipeline uses degree-1 groups (three extra "procedure calls").
+		for _, g := range groups {
+			if g != 1 {
+				return nil, fmt.Errorf("bench: inline pass needs degree-1 groups")
+			}
+		}
+	}
+	return makeLevel(cfg.Stages)(0)
+}
+
+// Paper values for the §5 in-text experiment (seconds, Sequent Symmetry,
+// twelve 16 MHz 80386 CPUs).
+const (
+	PaperNoExchangeSec     = 20.28
+	PaperInlineSec         = 28.00
+	PaperPipelineFlowSec   = 16.21
+	PaperPipelineNoFlowSec = 16.16
+	PaperPerRecordUsec     = 25.73
+	PaperRecords           = 100_000
+)
+
+// Fig2aPacketSizes are the packet sizes the paper sweeps.
+var Fig2aPacketSizes = []int{1, 2, 5, 10, 20, 50, 83}
+
+// Fig2aPaperSeconds are the elapsed times the paper reports (seconds) for
+// the sizes it states explicitly; 0 where the text gives no number.
+var Fig2aPaperSeconds = map[int]float64{
+	1: 171, 2: 94, 50: 15.0, 83: 13.7,
+}
+
+// RunFig2aPoint runs one Figure-2a sweep point: 100,000 records from a
+// producer group of three through two intermediate groups of three to a
+// single consumer, flow control with three slack packets.
+func RunFig2aPoint(records, packetSize int) (PassResult, error) {
+	return RunPass(PassConfig{
+		Records:     records,
+		Stages:      3,
+		Groups:      []int{3, 3, 3},
+		FlowControl: true,
+		Slack:       3,
+		PacketSize:  packetSize,
+	})
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// ChoosePlan implements dynamic query evaluation plans [Graefe & Ward,
+// SIGMOD 1989] — the companion Volcano work the paper cites as developed
+// alongside the exchange operator. A choose-plan node holds several
+// alternative subplans prepared at optimisation time; the decision
+// support function runs when the plan is *opened*, so it can consult
+// run-time knowledge (actual parameter values, current cardinalities,
+// resource availability) that the optimiser could not.
+//
+// Like every other Volcano operator it is an ordinary iterator: operators
+// above and below are unaware that a choice happens at all.
+type ChoosePlan struct {
+	alternatives []Iterator
+	decide       func() (int, error)
+	schema       *record.Schema
+	chosen       Iterator
+}
+
+// NewChoosePlan builds the operator. All alternatives must produce the
+// same schema; decide must return the index of the plan to run.
+func NewChoosePlan(alternatives []Iterator, decide func() (int, error)) (*ChoosePlan, error) {
+	if len(alternatives) == 0 {
+		return nil, errState("chooseplan", "no alternatives")
+	}
+	if decide == nil {
+		return nil, errState("chooseplan", "nil decision function")
+	}
+	s := alternatives[0].Schema()
+	for i, alt := range alternatives[1:] {
+		if !alt.Schema().Equal(s) {
+			return nil, errState("chooseplan",
+				fmt.Sprintf("alternative %d schema %s != %s", i+1, alt.Schema(), s))
+		}
+	}
+	return &ChoosePlan{alternatives: alternatives, decide: decide, schema: s}, nil
+}
+
+// Schema implements Iterator.
+func (c *ChoosePlan) Schema() *record.Schema { return c.schema }
+
+// Open implements Iterator: evaluates the decision support function and
+// opens only the chosen alternative.
+func (c *ChoosePlan) Open() error {
+	if c.chosen != nil {
+		return errState("chooseplan", "already open")
+	}
+	i, err := c.decide()
+	if err != nil {
+		return fmt.Errorf("core: chooseplan: decision: %w", err)
+	}
+	if i < 0 || i >= len(c.alternatives) {
+		return errState("chooseplan", fmt.Sprintf("decision %d out of range 0..%d", i, len(c.alternatives)-1))
+	}
+	if err := c.alternatives[i].Open(); err != nil {
+		return err
+	}
+	c.chosen = c.alternatives[i]
+	return nil
+}
+
+// Next implements Iterator.
+func (c *ChoosePlan) Next() (Rec, bool, error) {
+	if c.chosen == nil {
+		return Rec{}, false, errState("chooseplan", "next before open")
+	}
+	return c.chosen.Next()
+}
+
+// Close implements Iterator.
+func (c *ChoosePlan) Close() error {
+	if c.chosen == nil {
+		return errState("chooseplan", "close before open")
+	}
+	err := c.chosen.Close()
+	c.chosen = nil
+	return err
+}

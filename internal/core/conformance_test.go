@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// TestIteratorProtocolConformance checks every operator against the
+// open-next-close contract uniformly:
+//
+//   - Next before Open fails
+//   - Close before Open fails
+//   - double Open fails
+//   - Open → drain → Close works and leaks no pins
+//   - Open → Close without draining works and leaks no pins
+//   - Schema() is non-nil and stable
+//
+// Anonymous inputs only work if every operator honours the same protocol;
+// this is the uniformity §3 of the paper is about.
+func TestIteratorProtocolConformance(t *testing.T) {
+	type mk struct {
+		name  string
+		build func(env *testEnv) (Iterator, error)
+	}
+	makers := []mk{
+		{"filescan", func(env *testEnv) (Iterator, error) {
+			return NewFileScan(env.makeEmp(t, "t", 50, 4), nil, false)
+		}},
+		{"filter", func(env *testEnv) (Iterator, error) {
+			return NewFilterExpr(scanOf(t, env.makeEmp(t, "t", 50, 4)), "dept = 1", expr.Compiled)
+		}},
+		{"project", func(env *testEnv) (Iterator, error) {
+			return NewProjectExprs(env.Env, scanOf(t, env.makeEmp(t, "t", 50, 4)),
+				[]string{"id + 1"}, []string{"x"}, expr.Interpreted)
+		}},
+		{"sort", func(env *testEnv) (Iterator, error) {
+			return NewSort(env.Env, scanOf(t, env.makeEmp(t, "t", 50, 4)),
+				[]record.SortSpec{{Field: 0, Desc: true}}), nil
+		}},
+		{"merge", func(env *testEnv) (Iterator, error) {
+			a := env.makeInts(t, "a", 1, 3)
+			b := env.makeInts(t, "b", 2, 4)
+			return NewMergeSpec([]Iterator{scanOf(t, a), scanOf(t, b)}, []record.SortSpec{{Field: 0}})
+		}},
+		{"hashmatch", func(env *testEnv) (Iterator, error) {
+			l := env.makePairs(t, "l", [][2]int64{{1, 2}, {3, 4}})
+			r := env.makePairs(t, "r", [][2]int64{{1, 5}})
+			return NewHashMatch(env.Env, MatchJoin, scanOf(t, l), scanOf(t, r), record.Key{0}, record.Key{0})
+		}},
+		{"mergematch", func(env *testEnv) (Iterator, error) {
+			l := env.makePairs(t, "l", [][2]int64{{1, 2}, {3, 4}})
+			r := env.makePairs(t, "r", [][2]int64{{1, 5}})
+			return NewMergeMatchSorted(env.Env, MatchFullOuter, scanOf(t, l), scanOf(t, r), record.Key{0}, record.Key{0})
+		}},
+		{"nestedloops", func(env *testEnv) (Iterator, error) {
+			l := env.makeInts(t, "l", 1, 2)
+			r := env.makeInts(t, "r", 3)
+			return NewNestedLoops(env.Env, scanOf(t, l), scanOf(t, r), "$0 < $1", expr.Compiled)
+		}},
+		{"hashaggregate", func(env *testEnv) (Iterator, error) {
+			return NewHashAggregate(env.Env, scanOf(t, env.makeEmp(t, "t", 50, 4)),
+				record.Key{1}, []AggSpec{{Func: AggCount}})
+		}},
+		{"sortaggregate", func(env *testEnv) (Iterator, error) {
+			in := NewSort(env.Env, scanOf(t, env.makeEmp(t, "t", 50, 4)), []record.SortSpec{{Field: 1}})
+			return NewSortAggregate(env.Env, in, record.Key{1}, []AggSpec{{Func: AggCount}})
+		}},
+		{"hashdistinct", func(env *testEnv) (Iterator, error) {
+			return NewHashDistinct(env.Env, scanOf(t, env.makeInts(t, "t", 1, 1, 2)))
+		}},
+		{"hashdivision", func(env *testEnv) (Iterator, error) {
+			dv := env.makePairs(t, "dv", [][2]int64{{1, 1}, {1, 2}})
+			ds := env.makeInts(t, "ds", 1, 2)
+			return NewHashDivision(env.Env, scanOf(t, dv), scanOf(t, ds),
+				record.Key{0}, record.Key{1}, record.Key{0})
+		}},
+		{"sortdivision", func(env *testEnv) (Iterator, error) {
+			dv := env.makePairs(t, "dv", [][2]int64{{1, 1}, {1, 2}})
+			ds := env.makeInts(t, "ds", 1, 2)
+			return NewSortDivision(env.Env, scanOf(t, dv), scanOf(t, ds),
+				record.Key{0}, record.Key{1}, record.Key{0})
+		}},
+		{"chooseplan", func(env *testEnv) (Iterator, error) {
+			return NewChoosePlan([]Iterator{scanOf(t, env.makeInts(t, "t", 1, 2))},
+				func() (int, error) { return 0, nil })
+		}},
+		{"exchange", func(env *testEnv) (Iterator, error) {
+			f := env.makeInts(t, "t", shuffled(100, 33)...)
+			x, err := NewExchange(ExchangeConfig{
+				Schema: intSchema, Producers: 2, Consumers: 1,
+				FlowControl: true, Slack: 2, PacketSize: 4,
+				NewProducer: func(int) (Iterator, error) { return NewFileScan(f, nil, false) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			return x.Consumer(0), nil
+		}},
+	}
+
+	for _, m := range makers {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			// Protocol violations.
+			env := newTestEnv(t, 1024)
+			it, err := m.build(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if it.Schema() == nil {
+				t.Fatal("nil schema")
+			}
+			if _, _, err := it.Next(); err == nil {
+				t.Error("next before open succeeded")
+			}
+			if err := it.Close(); err == nil {
+				t.Error("close before open succeeded")
+			}
+			if err := it.Open(); err != nil {
+				t.Fatal(err)
+			}
+			if err := it.Open(); err == nil {
+				t.Error("double open succeeded")
+			}
+			schema := it.Schema()
+			// Full drain.
+			for {
+				r, ok, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if len(r.Data) < schema.FixedLen() {
+					t.Fatal("record shorter than schema's fixed area")
+				}
+				r.Unfix()
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			env.checkNoPinLeak(t)
+
+			// Early close without draining (fresh instance, fresh world).
+			env2 := newTestEnv(t, 1024)
+			it2, err := m.build(env2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := it2.Open(); err != nil {
+				t.Fatal(err)
+			}
+			r, ok, err := it2.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				r.Unfix()
+			}
+			if err := it2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			env2.checkNoPinLeak(t)
+			if n := len(env2.Temp.List()); n != 0 {
+				t.Fatalf("%d temp files left after early close", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// Exchange is Volcano's exchange module (paper, §4): the one operator that
+// encapsulates all parallelism. It is an iterator like any other — its
+// consumer endpoints support open, next, close — so it can be inserted at
+// any place (or several places) in a query tree. The consumer side is
+// demand-driven like the rest of Volcano; the producer side drives its
+// subtree eagerly and ships packets of records through a port, i.e. the
+// exchange operator performs the translation between demand-driven
+// dataflow within a process group and data-driven dataflow between groups.
+//
+// One Exchange value is the hub shared by a consumer group of size
+// Consumers and a producer group of size Producers. Each consumer
+// goroutine uses its own endpoint from Consumer(i); each producer g
+// runs the subtree built by NewProducer(g).
+type Exchange struct {
+	cfg    ExchangeConfig
+	port   *port
+	start  sync.Once
+	err    atomic.Value // first async error (type error)
+	closed int32        // consumers that have closed
+	lastWG sync.WaitGroup
+
+	// stats
+	packetsSent atomic.Int64
+	recordsSent atomic.Int64
+	forks       atomic.Int64
+	spawnTime   atomic.Int64 // nanoseconds spent in fork calls by the master
+}
+
+// ForkScheme selects how the master creates the producer group (§4.2).
+type ForkScheme uint8
+
+const (
+	// ForkCentral has the master fork every producer itself.
+	ForkCentral ForkScheme = iota
+	// ForkTree uses the propagation-tree scheme: the master forks one
+	// slave, then both fork one each, and so on — Gerber's observation
+	// that centralised forking is suboptimal for high degrees of
+	// parallelism.
+	ForkTree
+)
+
+// ExchangeConfig is the exchange operator's state record: every variant
+// of §4.4 is a run-time switch here.
+type ExchangeConfig struct {
+	// Schema of the records flowing through.
+	Schema *record.Schema
+	// Producers is the producer group size.
+	Producers int
+	// Consumers is the consumer group size.
+	Consumers int
+	// NewProducer builds producer g's input subtree. With intra-operator
+	// parallelism each producer scans its own partition or embeds the
+	// corresponding consumer endpoint of a lower exchange.
+	NewProducer func(g int) (Iterator, error)
+
+	// NewPartition builds the partitioning support function used by one
+	// producer to pick a consumer queue for each record (round-robin,
+	// hash or key range; §4.2). nil defaults to per-producer round-robin.
+	// Ignored when Consumers == 1 or Broadcast is set.
+	NewPartition func(g int) expr.Partitioner
+
+	// Broadcast sends every record to every consumer, pinning it once per
+	// consumer instead of copying (§4.4: hash-division, Baru's join).
+	Broadcast bool
+
+	// PacketSize is the number of records per packet, 1..255 (default 83,
+	// "the standard packet size").
+	PacketSize int
+
+	// FlowControl enables the back-pressure semaphore; Slack is its
+	// initial value (default 4): how many packets producers may get ahead.
+	FlowControl bool
+	Slack       int
+
+	// Fork selects the spawn scheme; ForkCost simulates the cost of a
+	// UNIX fork call (0 = none) so the central-vs-tree tradeoff can be
+	// studied with goroutines, whose spawn cost is otherwise negligible.
+	Fork     ForkScheme
+	ForkCost time.Duration
+
+	// Inline runs the exchange "in the middle of a process' operator
+	// tree" (§4.4): no goroutines are forked; each group member is both
+	// producer and consumer, pulling from its own input and routing
+	// records until one for its own partition appears. Requires
+	// Producers == Consumers. Flow control is obsolete in this mode.
+	Inline bool
+
+	// KeepStreams keeps input records separated by producer so that a
+	// merge iterator can consume each sorted producer stream individually
+	// (§4.4). Use ConsumerStreams to obtain the per-producer streams.
+	KeepStreams bool
+
+	// Pool, when set, runs producers on primed worker goroutines instead
+	// of forking fresh ones (§4.2's planned improvement). The pool must
+	// have at least Producers workers available.
+	Pool *WorkerPool
+}
+
+// NewExchange validates the configuration and creates the hub.
+func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
+	if cfg.Schema == nil {
+		return nil, errState("exchange", "nil schema")
+	}
+	if cfg.Producers < 1 || cfg.Consumers < 1 {
+		return nil, errState("exchange", fmt.Sprintf("bad group sizes %d/%d", cfg.Producers, cfg.Consumers))
+	}
+	if cfg.NewProducer == nil {
+		return nil, errState("exchange", "nil NewProducer")
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 83 // 1 KB packets hold 83 NEXT_RECORD structures
+	}
+	if cfg.PacketSize < 1 || cfg.PacketSize > 255 {
+		return nil, errState("exchange", fmt.Sprintf("packet size %d out of range 1..255", cfg.PacketSize))
+	}
+	if cfg.Slack == 0 {
+		cfg.Slack = 4
+	}
+	if cfg.Inline && cfg.Producers != cfg.Consumers {
+		return nil, errState("exchange", "inline mode requires equal group sizes")
+	}
+	if cfg.Inline && cfg.Pool != nil {
+		return nil, errState("exchange", "inline mode does not fork onto a pool")
+	}
+	if cfg.Inline && cfg.KeepStreams {
+		return nil, errState("exchange", "inline mode does not keep per-producer streams")
+	}
+	if cfg.Broadcast && cfg.NewPartition != nil {
+		return nil, errState("exchange", "broadcast and partitioning are mutually exclusive")
+	}
+	x := &Exchange{cfg: cfg}
+	// Flow control is meaningless (and a deadlock hazard) in inline mode:
+	// a member blocked on the semaphore could never drain its own queue.
+	fc := cfg.FlowControl && !cfg.Inline
+	x.port = newPort(cfg.Producers, cfg.Consumers, cfg.KeepStreams, fc, cfg.Slack)
+	return x, nil
+}
+
+// Stats reports exchange activity counters.
+type ExchangeStats struct {
+	Packets   int64
+	Records   int64
+	Forks     int64
+	SpawnTime time.Duration
+}
+
+// Stats returns a snapshot of the hub's counters.
+func (x *Exchange) Stats() ExchangeStats {
+	return ExchangeStats{
+		Packets:   x.packetsSent.Load(),
+		Records:   x.recordsSent.Load(),
+		Forks:     x.forks.Load(),
+		SpawnTime: time.Duration(x.spawnTime.Load()),
+	}
+}
+
+func (x *Exchange) setErr(err error) {
+	if err != nil {
+		x.err.CompareAndSwap(nil, err)
+	}
+}
+
+func (x *Exchange) firstErr() error {
+	if e, ok := x.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Consumer returns consumer endpoint i (an ordinary iterator). Endpoints
+// are single-goroutine; each consumer in the group must use its own.
+func (x *Exchange) Consumer(i int) Iterator {
+	return &xConsumer{x: x, idx: i}
+}
+
+// ConsumerStreams returns per-producer stream iterators for consumer i
+// (KeepStreams mode), suitable as inputs of a Merge. Open/Close of the
+// returned streams must all happen in consumer i's goroutine; the last
+// stream closed completes the endpoint's shutdown handshake.
+func (x *Exchange) ConsumerStreams(i int) ([]Iterator, error) {
+	if !x.cfg.KeepStreams {
+		return nil, errState("exchange", "ConsumerStreams requires KeepStreams")
+	}
+	if x.cfg.Inline {
+		return nil, errState("exchange", "ConsumerStreams unsupported in inline mode")
+	}
+	shared := &streamGroup{}
+	shared.remaining = x.cfg.Producers
+	out := make([]Iterator, x.cfg.Producers)
+	for p := 0; p < x.cfg.Producers; p++ {
+		out[p] = &xStream{x: x, consumer: i, producer: p, group: shared}
+	}
+	return out, nil
+}
+
+// ensureStarted forks the producer group on first open (the opening
+// consumer is the master: "when a query tree is opened, only one process
+// is running, which is naturally the master", §4.2).
+func (x *Exchange) ensureStarted() {
+	x.start.Do(func() {
+		if x.cfg.Inline {
+			return // inline members run their own producers
+		}
+		x.port.producersDone.Add(x.cfg.Producers)
+		begin := time.Now()
+		switch {
+		case x.cfg.Pool != nil:
+			for g := 0; g < x.cfg.Producers; g++ {
+				g := g
+				x.cfg.Pool.Submit(func() { x.producerLoop(g) })
+			}
+		case x.cfg.Fork == ForkTree:
+			ids := make([]int, x.cfg.Producers)
+			for i := range ids {
+				ids[i] = i
+			}
+			x.forkCall()
+			go x.spawnTree(ids)
+		default: // ForkCentral
+			for g := 0; g < x.cfg.Producers; g++ {
+				x.forkCall()
+				go x.producerLoop(g)
+			}
+		}
+		x.spawnTime.Add(int64(time.Since(begin)))
+	})
+}
+
+// forkCall models one fork(2) invocation.
+func (x *Exchange) forkCall() {
+	x.forks.Add(1)
+	if x.cfg.ForkCost > 0 {
+		time.Sleep(x.cfg.ForkCost)
+	}
+}
+
+// spawnTree implements the propagation-tree forking scheme: the current
+// goroutine repeatedly forks half of its remaining range, then runs the
+// first producer itself.
+func (x *Exchange) spawnTree(ids []int) {
+	for len(ids) > 1 {
+		mid := (len(ids) + 1) / 2
+		rest := ids[mid:]
+		ids = ids[:mid]
+		x.forkCall()
+		go x.spawnTree(rest)
+	}
+	x.producerLoop(ids[0])
+}
+
+// producerLoop is the driver part of exchange (§4.1): it opens its
+// subtree, exhausts it with next, routes records into consumer queues in
+// packets, flags its last packet to each consumer with an end-of-stream
+// tag, waits for permission to close, and closes the subtree.
+func (x *Exchange) producerLoop(g int) {
+	defer x.port.producersDone.Done()
+	input, err := x.cfg.NewProducer(g)
+	if err == nil && input != nil && !input.Schema().Equal(x.cfg.Schema) {
+		err = fmt.Errorf("core: exchange: producer %d schema %s != %s", g, input.Schema(), x.cfg.Schema)
+	}
+	if err != nil {
+		x.setErr(err)
+		x.finishProducer(g, nil, nil)
+		return
+	}
+	if err := input.Open(); err != nil {
+		x.setErr(err)
+		x.finishProducer(g, nil, nil)
+		return
+	}
+	out := x.newOutbox(g)
+	for {
+		r, ok, nerr := input.Next()
+		if nerr != nil {
+			x.setErr(nerr)
+			break
+		}
+		if !ok {
+			break
+		}
+		out.route(r)
+	}
+	x.finishProducer(g, out, input)
+}
+
+// finishProducer flushes, tags end-of-stream, performs the close
+// handshake, and closes the subtree.
+func (x *Exchange) finishProducer(g int, out *outbox, input Iterator) {
+	if out != nil {
+		out.flush(true)
+	} else {
+		// Error before the outbox existed: still deliver tagged packets.
+		for _, q := range x.port.queues {
+			q.push(&packet{eos: true, err: x.firstErr(), producer: g})
+			x.packetsSent.Add(1)
+		}
+	}
+	// Wait until the consumer allows closing all open files; necessary
+	// because files on virtual devices must not be closed before all
+	// their records are unpinned (§4.1).
+	<-x.port.allowClose
+	if input != nil {
+		if err := input.Close(); err != nil {
+			x.setErr(err)
+		}
+	}
+}
+
+// outbox batches one producer's output into per-consumer packets.
+type outbox struct {
+	x       *Exchange
+	g       int
+	packets []*packet
+	part    expr.Partitioner
+}
+
+func (x *Exchange) newOutbox(g int) *outbox {
+	o := &outbox{x: x, g: g, packets: make([]*packet, x.cfg.Consumers)}
+	switch {
+	case x.cfg.Broadcast || x.cfg.Consumers == 1:
+		// no partitioner needed
+	case x.cfg.NewPartition != nil:
+		o.part = x.cfg.NewPartition(g)
+	default:
+		o.part = expr.RoundRobin(x.cfg.Consumers)
+	}
+	return o
+}
+
+// route places one record (whose pin the outbox now owns) into the proper
+// packet(s), pushing packets as they fill.
+func (o *outbox) route(r Rec) {
+	if o.x.cfg.Broadcast {
+		// Pin once per additional consumer; never copy (§4.4).
+		r.Share(len(o.packets) - 1)
+		for c := range o.packets {
+			o.add(c, r)
+		}
+		return
+	}
+	c := 0
+	if o.part != nil {
+		c = o.part(r.Data)
+		if c < 0 || c >= len(o.packets) {
+			o.x.setErr(fmt.Errorf("core: exchange: partition function returned %d of %d", c, len(o.packets)))
+			r.Unfix()
+			return
+		}
+	}
+	o.add(c, r)
+}
+
+func (o *outbox) add(c int, r Rec) {
+	p := o.packets[c]
+	if p == nil {
+		p = &packet{recs: make([]Rec, 0, o.x.cfg.PacketSize), producer: o.g}
+		o.packets[c] = p
+	}
+	p.recs = append(p.recs, r.WithoutDirty())
+	if len(p.recs) >= o.x.cfg.PacketSize {
+		o.push(c, false)
+	}
+}
+
+// push sends consumer c's current packet (if eos, even when empty).
+func (o *outbox) push(c int, eos bool) {
+	p := o.packets[c]
+	if p == nil {
+		if !eos {
+			return
+		}
+		p = &packet{producer: o.g}
+	}
+	o.packets[c] = nil
+	p.eos = eos
+	if eos {
+		p.err = o.x.firstErr()
+	}
+	o.x.recordsSent.Add(int64(len(p.recs)))
+	o.x.packetsSent.Add(1)
+	o.x.port.queues[c].push(p)
+}
+
+// flush pushes all partial packets; with eos, every consumer receives a
+// tagged final packet.
+func (o *outbox) flush(eos bool) {
+	for c := range o.packets {
+		if eos {
+			o.push(c, true)
+		} else if o.packets[c] != nil {
+			o.push(c, false)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/record"
+)
+
+// consumerClosed records one endpoint's shutdown. The last consumer to
+// close releases the semaphore that permits producers to shut down and —
+// in fork mode — waits for their acknowledgement (§4.1/§4.3: orderly,
+// self-scheduling shutdown of the whole tree).
+func (x *Exchange) consumerClosed() error {
+	n := atomic.AddInt32(&x.closed, 1)
+	if int(n) == x.cfg.Consumers {
+		close(x.port.allowClose)
+		if !x.cfg.Inline {
+			x.port.producersDone.Wait()
+		}
+	}
+	return x.firstErr()
+}
+
+// xConsumer is one consumer endpoint of an exchange. In fork mode it is
+// "a normal iterator, the only difference ... is that it receives its
+// input via inter-process communication" (§4.1). In inline mode (§4.4) it
+// additionally drives its own producer subtree between queue polls.
+type xConsumer struct {
+	x   *Exchange
+	idx int
+
+	cur  *packet
+	pos  int
+	open bool
+	done bool
+
+	// Inline mode state.
+	input     Iterator
+	out       *outbox
+	inputDone bool
+}
+
+// Schema implements Iterator.
+func (c *xConsumer) Schema() *record.Schema { return c.x.cfg.Schema }
+
+// Open implements Iterator.
+func (c *xConsumer) Open() error {
+	if c.open {
+		return errState("exchange", "consumer already open")
+	}
+	if c.idx < 0 || c.idx >= c.x.cfg.Consumers {
+		return errState("exchange", "consumer index out of range")
+	}
+	if c.x.cfg.Inline {
+		input, err := c.x.cfg.NewProducer(c.idx)
+		if err != nil {
+			return err
+		}
+		if err := input.Open(); err != nil {
+			return err
+		}
+		c.input = input
+		c.out = c.x.newOutbox(c.idx)
+		c.inputDone = false
+	} else {
+		// The first consumer to open acts as the master and forks the
+		// producer group.
+		c.x.ensureStarted()
+	}
+	c.cur, c.pos, c.done = nil, 0, false
+	c.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (c *xConsumer) Next() (Rec, bool, error) {
+	if !c.open {
+		return Rec{}, false, errState("exchange", "consumer next before open")
+	}
+	for {
+		if c.cur != nil && c.pos < len(c.cur.recs) {
+			r := c.cur.recs[c.pos]
+			c.pos++
+			return r, true, nil
+		}
+		if c.cur != nil && c.cur.err != nil {
+			err := c.cur.err
+			c.cur = nil
+			return Rec{}, false, err
+		}
+		c.cur, c.pos = nil, 0
+		if c.done {
+			return Rec{}, false, nil
+		}
+		if c.x.cfg.Inline {
+			if err := c.inlineStep(); err != nil {
+				return Rec{}, false, err
+			}
+			continue
+		}
+		p := c.x.port.queues[c.idx].pop(c.x.cfg.Producers)
+		if p == nil {
+			c.done = true
+			if err := c.x.firstErr(); err != nil {
+				return Rec{}, false, err
+			}
+			return Rec{}, false, nil
+		}
+		c.cur = p
+	}
+}
+
+// inlineStep makes progress in the no-fork variant: take whatever the
+// queue already holds; otherwise request records from our own input tree,
+// "possibly sending them off to other processes in the group, until a
+// record for its own partition is found" (§4.4); once our input is
+// exhausted, block on the queue for the remaining peers.
+func (c *xConsumer) inlineStep() error {
+	q := c.x.port.queues[c.idx]
+	if p := q.tryPop(); p != nil {
+		c.cur = p
+		return nil
+	}
+	if !c.inputDone {
+		r, ok, err := c.input.Next()
+		if err != nil {
+			c.x.setErr(err)
+			c.out.flush(true)
+			c.inputDone = true
+			return err
+		}
+		if !ok {
+			c.out.flush(true)
+			c.inputDone = true
+			return nil
+		}
+		c.out.route(r)
+		return nil
+	}
+	p := q.pop(c.x.cfg.Producers)
+	if p == nil {
+		c.done = true
+		return c.x.firstErr()
+	}
+	c.cur = p
+	return nil
+}
+
+// Close implements Iterator.
+func (c *xConsumer) Close() error {
+	if !c.open {
+		return errState("exchange", "consumer close before open")
+	}
+	c.open = false
+	// Release anything we still hold, then abandon the queue.
+	if c.cur != nil {
+		for _, r := range c.cur.recs[c.pos:] {
+			r.Unfix()
+		}
+		c.cur = nil
+	}
+	if c.x.cfg.Inline {
+		if !c.inputDone {
+			// Cancelled early: our peers still need our end-of-stream tags.
+			c.out.flush(true)
+			c.inputDone = true
+		}
+		c.x.port.queues[c.idx].drain()
+		err := c.x.consumerClosed()
+		// Wait until the whole group may close, then shut our subtree
+		// down: records we produced may still be pinned by peers.
+		<-c.x.port.allowClose
+		if cerr := c.input.Close(); err == nil {
+			err = cerr
+		}
+		c.input = nil
+		return err
+	}
+	// Fork mode: make sure producers are running (an endpoint could be
+	// closed before any Next), then abandon the queue and hand over to
+	// the shutdown handshake.
+	c.x.ensureStarted()
+	c.x.port.queues[c.idx].drain()
+	return c.x.consumerClosed()
+}
+
+// streamGroup coordinates the per-producer stream endpoints of one
+// consumer (KeepStreams mode): the last stream to close completes the
+// endpoint's shutdown.
+type streamGroup struct {
+	mu        sync.Mutex
+	remaining int
+	started   bool
+}
+
+// xStream is a single-producer stream of one consumer endpoint, used
+// beneath merge iterators (§4.4: "the merge iterator requires to
+// distinguish the input records by their producer").
+type xStream struct {
+	x        *Exchange
+	consumer int
+	producer int
+	group    *streamGroup
+
+	cur  *packet
+	pos  int
+	open bool
+	done bool
+}
+
+// Schema implements Iterator.
+func (s *xStream) Schema() *record.Schema { return s.x.cfg.Schema }
+
+// Open implements Iterator.
+func (s *xStream) Open() error {
+	if s.open {
+		return errState("exchange", "stream already open")
+	}
+	s.x.ensureStarted()
+	s.cur, s.pos, s.done = nil, 0, false
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *xStream) Next() (Rec, bool, error) {
+	if !s.open {
+		return Rec{}, false, errState("exchange", "stream next before open")
+	}
+	for {
+		if s.cur != nil && s.pos < len(s.cur.recs) {
+			r := s.cur.recs[s.pos]
+			s.pos++
+			return r, true, nil
+		}
+		if s.cur != nil && s.cur.err != nil {
+			err := s.cur.err
+			s.cur = nil
+			return Rec{}, false, err
+		}
+		s.cur, s.pos = nil, 0
+		if s.done {
+			return Rec{}, false, nil
+		}
+		p := s.x.port.queues[s.consumer].popFrom(s.producer)
+		if p == nil {
+			s.done = true
+			if err := s.x.firstErr(); err != nil {
+				return Rec{}, false, err
+			}
+			return Rec{}, false, nil
+		}
+		s.cur = p
+	}
+}
+
+// Close implements Iterator.
+func (s *xStream) Close() error {
+	if !s.open {
+		return errState("exchange", "stream close before open")
+	}
+	s.open = false
+	if s.cur != nil {
+		for _, r := range s.cur.recs[s.pos:] {
+			r.Unfix()
+		}
+		s.cur = nil
+	}
+	s.group.mu.Lock()
+	s.group.remaining--
+	last := s.group.remaining == 0
+	s.group.mu.Unlock()
+	if !last {
+		return nil
+	}
+	s.x.port.queues[s.consumer].drain()
+	return s.x.consumerClosed()
+}
+
+// WorkerPool is a set of primed processes (§4.2): goroutines that are
+// always present and wait for work packets, so exchange does not pay the
+// fork cost per producer. The pool must be at least as large as the
+// number of producers that need to run concurrently.
+type WorkerPool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	size  int
+}
+
+// NewWorkerPool primes n workers.
+func NewWorkerPool(n int) *WorkerPool {
+	p := &WorkerPool{tasks: make(chan func()), size: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of primed workers.
+func (p *WorkerPool) Size() int { return p.size }
+
+// Submit hands a task to a free worker, blocking until one accepts it.
+func (p *WorkerPool) Submit(f func()) { p.tasks <- f }
+
+// Close shuts the pool down after all running tasks complete.
+func (p *WorkerPool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

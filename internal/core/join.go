@@ -1,0 +1,198 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/storage/file"
+)
+
+// NestedLoops is the nested-loops join: for every left record, the right
+// input is rescanned and an arbitrary join predicate evaluated over the
+// combined record. The right input is materialised once into a temp file
+// so it can be rescanned cheaply regardless of what produced it.
+//
+// A nil predicate yields the Cartesian product.
+type NestedLoops struct {
+	env    *Env
+	left   Iterator
+	right  Iterator
+	pred   expr.Predicate // over the combined schema; nil = always true
+	schema *record.Schema
+
+	w     *ResultWriter
+	inner *file.File
+	lrec  Rec
+	lok   bool
+	scan  *file.Scan
+	open  bool
+}
+
+// NewNestedLoops builds the operator. predSrc is an expression over the
+// concatenated schema (empty = Cartesian product).
+func NewNestedLoops(env *Env, left, right Iterator, predSrc string, mode expr.Mode) (*NestedLoops, error) {
+	schema := left.Schema().Concat(right.Schema())
+	var pred expr.Predicate
+	if predSrc != "" {
+		p, err := expr.ParsePredicate(predSrc, schema, mode)
+		if err != nil {
+			return nil, err
+		}
+		pred = p
+	}
+	return &NestedLoops{env: env, left: left, right: right, pred: pred, schema: schema}, nil
+}
+
+// NewCartesianProduct builds the Cartesian product of the inputs.
+func NewCartesianProduct(env *Env, left, right Iterator) (*NestedLoops, error) {
+	return NewNestedLoops(env, left, right, "", expr.Compiled)
+}
+
+// Schema implements Iterator.
+func (n *NestedLoops) Schema() *record.Schema { return n.schema }
+
+// Open implements Iterator: materialises the inner (right) input.
+func (n *NestedLoops) Open() error {
+	if n.open {
+		return errState("nestedloops", "already open")
+	}
+	w, err := n.env.NewResultWriter("nljoin", n.schema)
+	if err != nil {
+		return err
+	}
+	inner, err := n.env.CreateTemp("nlinner", n.right.Schema())
+	if err != nil {
+		_ = w.Dispose()
+		return err
+	}
+	if err := n.right.Open(); err != nil {
+		_ = w.Dispose()
+		_ = n.env.DropTemp(inner)
+		return err
+	}
+	for {
+		r, ok, err := n.right.Next()
+		if err != nil {
+			_ = n.right.Close()
+			_ = w.Dispose()
+			_ = n.env.DropTemp(inner)
+			return err
+		}
+		if !ok {
+			break
+		}
+		_, err = inner.Insert(r.Data)
+		r.Unfix()
+		if err != nil {
+			_ = n.right.Close()
+			_ = w.Dispose()
+			_ = n.env.DropTemp(inner)
+			return err
+		}
+	}
+	if err := n.right.Close(); err != nil {
+		_ = w.Dispose()
+		_ = n.env.DropTemp(inner)
+		return err
+	}
+	if err := n.left.Open(); err != nil {
+		_ = w.Dispose()
+		_ = n.env.DropTemp(inner)
+		return err
+	}
+	n.w, n.inner = w, inner
+	n.lok = false
+	n.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (n *NestedLoops) Next() (Rec, bool, error) {
+	if !n.open {
+		return Rec{}, false, errState("nestedloops", "next before open")
+	}
+	for {
+		if !n.lok {
+			var err error
+			n.lrec, n.lok, err = n.left.Next()
+			if err != nil {
+				return Rec{}, false, err
+			}
+			if !n.lok {
+				return Rec{}, false, nil
+			}
+			n.scan = n.inner.NewScan(false)
+		}
+		r, ok, err := n.scan.Next()
+		if err != nil {
+			return Rec{}, false, err
+		}
+		if !ok {
+			// Inner exhausted: advance outer.
+			n.scan.Close()
+			n.scan = nil
+			n.lrec.Unfix()
+			n.lok = false
+			continue
+		}
+		out, keep, err := n.combineFiltered(n.lrec.Data, r.Data)
+		r.Unfix()
+		if err != nil {
+			return Rec{}, false, err
+		}
+		if keep {
+			return out, true, nil
+		}
+	}
+}
+
+func (n *NestedLoops) combineFiltered(l, r []byte) (Rec, bool, error) {
+	lv, err := n.left.Schema().Decode(l)
+	if err != nil {
+		return Rec{}, false, err
+	}
+	rv, err := n.right.Schema().Decode(r)
+	if err != nil {
+		return Rec{}, false, err
+	}
+	combined, err := n.schema.Encode(append(lv, rv...))
+	if err != nil {
+		return Rec{}, false, err
+	}
+	if n.pred != nil {
+		keep, err := n.pred(combined)
+		if err != nil || !keep {
+			return Rec{}, false, err
+		}
+	}
+	out, err := n.w.WriteBytes(combined)
+	if err != nil {
+		return Rec{}, false, err
+	}
+	return out, true, nil
+}
+
+// Close implements Iterator.
+func (n *NestedLoops) Close() error {
+	if !n.open {
+		return errState("nestedloops", "close before open")
+	}
+	n.open = false
+	if n.scan != nil {
+		n.scan.Close()
+		n.scan = nil
+	}
+	if n.lok {
+		n.lrec.Unfix()
+		n.lok = false
+	}
+	err := n.left.Close()
+	if derr := n.env.DropTemp(n.inner); err == nil {
+		err = derr
+	}
+	n.inner = nil
+	if derr := n.w.Dispose(); err == nil {
+		err = derr
+	}
+	n.w = nil
+	return err
+}

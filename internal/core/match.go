@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// MatchOp selects which operation the one-to-one match operator performs.
+// The one-to-one match generalises all binary matching operators (paper
+// §1 lists two algorithms each for natural join, semi-join, outer join,
+// anti-join, union, intersection, difference, anti-difference): every
+// operation is a choice of which tuple classes — matched, left-only,
+// right-only — appear in the output, and in what form.
+type MatchOp int
+
+// Match operations.
+const (
+	// MatchJoin outputs one combined record per matching pair.
+	MatchJoin MatchOp = iota
+	// MatchSemi outputs each left record with at least one match.
+	MatchSemi
+	// MatchAnti outputs each left record with no match (anti-join).
+	MatchAnti
+	// MatchLeftOuter is join plus unmatched left records padded with
+	// zero values on the right (Volcano has no SQL NULL).
+	MatchLeftOuter
+	// MatchRightOuter is join plus unmatched right records padded left.
+	MatchRightOuter
+	// MatchFullOuter is join plus both unmatched sides, padded.
+	MatchFullOuter
+	// MatchUnion outputs the set union of the two inputs (same schema;
+	// keys should cover the whole tuple for set semantics).
+	MatchUnion
+	// MatchIntersect outputs the distinct tuples present in both inputs.
+	MatchIntersect
+	// MatchDifference outputs the distinct left tuples with no match
+	// (L − R).
+	MatchDifference
+	// MatchAntiDifference outputs the distinct right tuples with no match
+	// (R − L).
+	MatchAntiDifference
+)
+
+var matchOpNames = map[MatchOp]string{
+	MatchJoin: "join", MatchSemi: "semijoin", MatchAnti: "antijoin",
+	MatchLeftOuter: "leftouter", MatchRightOuter: "rightouter", MatchFullOuter: "fullouter",
+	MatchUnion: "union", MatchIntersect: "intersect",
+	MatchDifference: "difference", MatchAntiDifference: "antidifference",
+}
+
+// String names the operation.
+func (op MatchOp) String() string { return matchOpNames[op] }
+
+// combinesSchemas reports whether the output is the concatenation of both
+// input schemas.
+func (op MatchOp) combinesSchemas() bool {
+	switch op {
+	case MatchJoin, MatchLeftOuter, MatchRightOuter, MatchFullOuter:
+		return true
+	}
+	return false
+}
+
+// sameSchemas reports whether the operation requires equal input schemas.
+func (op MatchOp) sameSchemas() bool {
+	switch op {
+	case MatchUnion, MatchIntersect:
+		return true
+	}
+	return false
+}
+
+// matchOutputSchema computes the output schema of a match operation.
+func matchOutputSchema(op MatchOp, left, right *record.Schema) (*record.Schema, error) {
+	if op.sameSchemas() && !left.Equal(right) {
+		return nil, fmt.Errorf("core: %s requires equal schemas, got %s and %s", op, left, right)
+	}
+	switch {
+	case op.combinesSchemas():
+		return left.Concat(right), nil
+	case op == MatchAntiDifference:
+		return right, nil
+	default:
+		return left, nil
+	}
+}
+
+// zeroValues builds the zero-padding used for the missing side of outer
+// joins.
+func zeroValues(s *record.Schema) []record.Value {
+	out := make([]record.Value, s.NumFields())
+	for i := 0; i < s.NumFields(); i++ {
+		switch s.Field(i).Type {
+		case record.TInt:
+			out[i] = record.Int(0)
+		case record.TFloat:
+			out[i] = record.Float(0)
+		case record.TBool:
+			out[i] = record.Bool(false)
+		default:
+			out[i] = record.Value{Kind: s.Field(i).Type}
+		}
+	}
+	return out
+}
+
+// keysEqual verifies key equality between a left and right record (hash
+// matches must be confirmed, hashes can collide).
+func keysEqual(ls *record.Schema, l []byte, lk record.Key, rs *record.Schema, r []byte, rk record.Key) bool {
+	return record.CompareKeys(ls, l, lk, rs, r, rk) == 0
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// HashMatch is the hash-based one-to-one match algorithm. On open it
+// builds an in-memory hash table over the right ("build") input, holding
+// its records pinned in the buffer; next probes with left ("probe")
+// records. Records created for combined outputs are materialised through a
+// virtual file, and consumed input records are unfixed, per the ownership
+// protocol of §3.
+type HashMatch struct {
+	env      *Env
+	op       MatchOp
+	left     Iterator
+	right    Iterator
+	leftKey  record.Key
+	rightKey record.Key
+	schema   *record.Schema
+
+	table     map[uint64][]*buildEntry
+	order     []*buildEntry // build order, for deterministic trailing output
+	w         *ResultWriter // for combined outputs
+	seen      map[string]struct{}
+	pending   []Rec
+	trail     int // cursor over order for right-only emission
+	probing   bool
+	rightOpen bool
+	open      bool
+}
+
+type buildEntry struct {
+	rec     Rec
+	matched bool
+}
+
+// NewHashMatch builds the operator. leftKey and rightKey must have equal
+// length and pairwise-comparable field types.
+func NewHashMatch(env *Env, op MatchOp, left, right Iterator, leftKey, rightKey record.Key) (*HashMatch, error) {
+	if len(leftKey) != len(rightKey) || len(leftKey) == 0 {
+		return nil, fmt.Errorf("core: hashmatch: bad key arity %d/%d", len(leftKey), len(rightKey))
+	}
+	schema, err := matchOutputSchema(op, left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &HashMatch{
+		env: env, op: op, left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey, schema: schema,
+	}, nil
+}
+
+// Schema implements Iterator.
+func (h *HashMatch) Schema() *record.Schema { return h.schema }
+
+// distinctBuild reports whether the build side dedupes on key.
+func (h *HashMatch) distinctBuild() bool {
+	switch h.op {
+	case MatchUnion, MatchIntersect, MatchAntiDifference, MatchSemi, MatchAnti, MatchDifference:
+		return true
+	}
+	return false
+}
+
+// distinctProbe reports whether probe-side outputs dedupe on key.
+func (h *HashMatch) distinctProbe() bool {
+	switch h.op {
+	case MatchUnion, MatchIntersect, MatchDifference:
+		return true
+	}
+	return false
+}
+
+// Open implements Iterator: the build phase.
+func (h *HashMatch) Open() error {
+	if h.open {
+		return errState("hashmatch", "already open")
+	}
+	if h.op.combinesSchemas() {
+		w, err := h.env.NewResultWriter("hashmatch", h.schema)
+		if err != nil {
+			return err
+		}
+		h.w = w
+	}
+	h.table = make(map[uint64][]*buildEntry)
+	h.seen = make(map[string]struct{})
+	if err := h.right.Open(); err != nil {
+		h.abort()
+		return err
+	}
+	h.rightOpen = true
+	rs := h.right.Schema()
+	for {
+		r, ok, err := h.right.Next()
+		if err != nil {
+			h.abort()
+			return err
+		}
+		if !ok {
+			break
+		}
+		hk := rs.Hash(r.Data, h.rightKey)
+		if h.distinctBuild() && h.bucketHasKey(hk, rs, r.Data) {
+			r.Unfix()
+			continue
+		}
+		e := &buildEntry{rec: r}
+		h.table[hk] = append(h.table[hk], e)
+		h.order = append(h.order, e)
+	}
+	// NOTE: the build input stays open until our own close — its records
+	// remain pinned in the hash table, and a materialising input (e.g. a
+	// projection's virtual file) must not be shut down before all its
+	// records are unpinned (the same rule exchange enforces across
+	// process boundaries, §4.1).
+	if err := h.left.Open(); err != nil {
+		h.abort()
+		return err
+	}
+	h.probing = true
+	h.open = true
+	return nil
+}
+
+func (h *HashMatch) bucketHasKey(hk uint64, rs *record.Schema, data []byte) bool {
+	for _, e := range h.table[hk] {
+		if keysEqual(rs, e.rec.Data, h.rightKey, rs, data, h.rightKey) {
+			return true
+		}
+	}
+	return false
+}
+
+// Next implements Iterator: the probe phase, then right-only emission.
+func (h *HashMatch) Next() (Rec, bool, error) {
+	if !h.open {
+		return Rec{}, false, errState("hashmatch", "next before open")
+	}
+	for {
+		if len(h.pending) > 0 {
+			out := h.pending[0]
+			h.pending = h.pending[1:]
+			return out, true, nil
+		}
+		if h.probing {
+			l, ok, err := h.left.Next()
+			if err != nil {
+				return Rec{}, false, err
+			}
+			if !ok {
+				h.probing = false
+				continue
+			}
+			if err := h.probe(l); err != nil {
+				return Rec{}, false, err
+			}
+			continue
+		}
+		// Trailing phase: right-only classes.
+		r, ok, err := h.trailNext()
+		if err != nil || ok {
+			return r, ok, err
+		}
+		return Rec{}, false, nil
+	}
+}
+
+// probe handles one left record, queueing outputs on h.pending and
+// disposing of the left pin.
+func (h *HashMatch) probe(l Rec) error {
+	ls, rs := h.left.Schema(), h.right.Schema()
+	hk := ls.Hash(l.Data, h.leftKey)
+	var matches []*buildEntry
+	for _, e := range h.table[hk] {
+		if keysEqual(ls, l.Data, h.leftKey, rs, e.rec.Data, h.rightKey) {
+			matches = append(matches, e)
+		}
+	}
+	matched := len(matches) > 0
+	if h.distinctProbe() {
+		key := record.KeyString(ls.KeyValues(l.Data, h.leftKey))
+		if _, dup := h.seen[key]; dup {
+			l.Unfix()
+			for _, e := range matches {
+				e.matched = true
+			}
+			return nil
+		}
+		h.seen[key] = struct{}{}
+	}
+	defer l.Unfix()
+	switch h.op {
+	case MatchJoin, MatchLeftOuter, MatchRightOuter, MatchFullOuter:
+		for _, e := range matches {
+			e.matched = true
+			out, err := h.combine(l.Data, e.rec.Data)
+			if err != nil {
+				return err
+			}
+			h.pending = append(h.pending, out)
+		}
+		if !matched && (h.op == MatchLeftOuter || h.op == MatchFullOuter) {
+			out, err := h.combinePadRight(l.Data)
+			if err != nil {
+				return err
+			}
+			h.pending = append(h.pending, out)
+		}
+	case MatchSemi:
+		if matched {
+			// Pass the left record through; it keeps its pin.
+			h.pending = append(h.pending, h.holdLeft(l))
+			return nil
+		}
+	case MatchAnti:
+		if !matched {
+			h.pending = append(h.pending, h.holdLeft(l))
+			return nil
+		}
+	case MatchUnion:
+		for _, e := range matches {
+			e.matched = true
+		}
+		h.pending = append(h.pending, h.holdLeft(l))
+		return nil
+	case MatchIntersect:
+		if matched {
+			for _, e := range matches {
+				e.matched = true
+			}
+			h.pending = append(h.pending, h.holdLeft(l))
+			return nil
+		}
+	case MatchDifference:
+		if !matched {
+			h.pending = append(h.pending, h.holdLeft(l))
+			return nil
+		}
+	case MatchAntiDifference:
+		for _, e := range matches {
+			e.matched = true
+		}
+	}
+	return nil
+}
+
+// holdLeft cancels the deferred unfix by taking an extra pin: the record
+// passes through to the consumer.
+func (h *HashMatch) holdLeft(l Rec) Rec {
+	l.Share(1)
+	return l.WithoutDirty()
+}
+
+// trailNext emits right-side records after the probe phase: unmatched
+// build entries for right-outer/full-outer/union/anti-difference.
+func (h *HashMatch) trailNext() (Rec, bool, error) {
+	emitUnmatched := false
+	pad := false
+	switch h.op {
+	case MatchRightOuter, MatchFullOuter:
+		emitUnmatched, pad = true, true
+	case MatchUnion, MatchAntiDifference:
+		emitUnmatched = true
+	}
+	if !emitUnmatched {
+		return Rec{}, false, nil
+	}
+	for h.trail < len(h.order) {
+		e := h.order[h.trail]
+		h.trail++
+		if e.matched {
+			continue
+		}
+		if pad {
+			out, err := h.combinePadLeft(e.rec.Data)
+			if err != nil {
+				return Rec{}, false, err
+			}
+			return out, true, nil
+		}
+		// Pass the build record through with its own pin.
+		e.rec.Share(1)
+		return e.rec.WithoutDirty(), true, nil
+	}
+	return Rec{}, false, nil
+}
+
+// combine materialises a concatenated output record.
+func (h *HashMatch) combine(l, r []byte) (Rec, error) {
+	lv, err := h.left.Schema().Decode(l)
+	if err != nil {
+		return Rec{}, err
+	}
+	rv, err := h.right.Schema().Decode(r)
+	if err != nil {
+		return Rec{}, err
+	}
+	return h.w.Write(append(lv, rv...))
+}
+
+func (h *HashMatch) combinePadRight(l []byte) (Rec, error) {
+	lv, err := h.left.Schema().Decode(l)
+	if err != nil {
+		return Rec{}, err
+	}
+	return h.w.Write(append(lv, zeroValues(h.right.Schema())...))
+}
+
+func (h *HashMatch) combinePadLeft(r []byte) (Rec, error) {
+	rv, err := h.right.Schema().Decode(r)
+	if err != nil {
+		return Rec{}, err
+	}
+	return h.w.Write(append(zeroValues(h.left.Schema()), rv...))
+}
+
+// Close implements Iterator: releases the hash table pins, closes both
+// inputs (the build side stayed open to keep its records pinnable), and
+// drops the temp file.
+func (h *HashMatch) Close() error {
+	if !h.open {
+		return errState("hashmatch", "close before open")
+	}
+	h.open = false
+	err := h.left.Close()
+	h.release()
+	if h.rightOpen {
+		h.rightOpen = false
+		if rerr := h.right.Close(); err == nil {
+			err = rerr
+		}
+	}
+	if derr := h.dispose(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+func (h *HashMatch) abort() {
+	h.release()
+	if h.rightOpen {
+		h.rightOpen = false
+		_ = h.right.Close()
+	}
+	_ = h.dispose()
+}
+
+func (h *HashMatch) release() {
+	for _, r := range h.pending {
+		r.Unfix()
+	}
+	h.pending = nil
+	for _, e := range h.order {
+		e.rec.Unfix()
+	}
+	h.order = nil
+	h.table = nil
+}
+
+func (h *HashMatch) dispose() error {
+	if h.w == nil {
+		return nil
+	}
+	err := h.w.Dispose()
+	h.w = nil
+	return err
+}

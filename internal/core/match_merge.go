@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// MergeMatch is the sort-based one-to-one match algorithm: both inputs
+// must arrive sorted ascending on their key fields (wrap them in Sort
+// iterators or use NewMergeMatchSorted). It walks groups of equal keys on
+// both sides and emits the classes the operation selects.
+type MergeMatch struct {
+	env      *Env
+	op       MatchOp
+	left     Iterator
+	right    Iterator
+	leftKey  record.Key
+	rightKey record.Key
+	schema   *record.Schema
+
+	w       *ResultWriter
+	lrec    Rec
+	lok     bool
+	rrec    Rec
+	rok     bool
+	pending []Rec
+	open    bool
+}
+
+// NewMergeMatch builds the operator over already-sorted inputs.
+func NewMergeMatch(env *Env, op MatchOp, left, right Iterator, leftKey, rightKey record.Key) (*MergeMatch, error) {
+	if len(leftKey) != len(rightKey) || len(leftKey) == 0 {
+		return nil, fmt.Errorf("core: mergematch: bad key arity %d/%d", len(leftKey), len(rightKey))
+	}
+	schema, err := matchOutputSchema(op, left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &MergeMatch{
+		env: env, op: op, left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey, schema: schema,
+	}, nil
+}
+
+// NewMergeMatchSorted wraps both inputs in Sort iterators on the key
+// fields and builds a MergeMatch — the classic sort-merge join plan.
+func NewMergeMatchSorted(env *Env, op MatchOp, left, right Iterator, leftKey, rightKey record.Key) (*MergeMatch, error) {
+	lspec := make([]record.SortSpec, len(leftKey))
+	for i, f := range leftKey {
+		lspec[i] = record.SortSpec{Field: f}
+	}
+	rspec := make([]record.SortSpec, len(rightKey))
+	for i, f := range rightKey {
+		rspec[i] = record.SortSpec{Field: f}
+	}
+	return NewMergeMatch(env, op, NewSort(env, left, lspec), NewSort(env, right, rspec), leftKey, rightKey)
+}
+
+// Schema implements Iterator.
+func (m *MergeMatch) Schema() *record.Schema { return m.schema }
+
+// Open implements Iterator.
+func (m *MergeMatch) Open() error {
+	if m.open {
+		return errState("mergematch", "already open")
+	}
+	if m.op.combinesSchemas() {
+		w, err := m.env.NewResultWriter("mergematch", m.schema)
+		if err != nil {
+			return err
+		}
+		m.w = w
+	}
+	if err := m.left.Open(); err != nil {
+		_ = m.dispose()
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		_ = m.left.Close()
+		_ = m.dispose()
+		return err
+	}
+	var err error
+	if m.lrec, m.lok, err = m.left.Next(); err != nil {
+		m.abort()
+		return err
+	}
+	if m.rrec, m.rok, err = m.right.Next(); err != nil {
+		m.abort()
+		return err
+	}
+	m.open = true
+	return nil
+}
+
+// advanceLeft fetches the next left record.
+func (m *MergeMatch) advanceLeft() error {
+	var err error
+	m.lrec, m.lok, err = m.left.Next()
+	return err
+}
+
+func (m *MergeMatch) advanceRight() error {
+	var err error
+	m.rrec, m.rok, err = m.right.Next()
+	return err
+}
+
+// Next implements Iterator.
+func (m *MergeMatch) Next() (Rec, bool, error) {
+	if !m.open {
+		return Rec{}, false, errState("mergematch", "next before open")
+	}
+	for {
+		if len(m.pending) > 0 {
+			out := m.pending[0]
+			m.pending = m.pending[1:]
+			return out, true, nil
+		}
+		switch {
+		case m.lok && m.rok:
+			c := record.CompareKeys(m.left.Schema(), m.lrec.Data, m.leftKey,
+				m.right.Schema(), m.rrec.Data, m.rightKey)
+			var err error
+			switch {
+			case c < 0:
+				err = m.leftOnlyGroup()
+			case c > 0:
+				err = m.rightOnlyGroup()
+			default:
+				err = m.matchedGroup()
+			}
+			if err != nil {
+				return Rec{}, false, err
+			}
+		case m.lok:
+			if err := m.leftOnlyGroup(); err != nil {
+				return Rec{}, false, err
+			}
+		case m.rok:
+			if err := m.rightOnlyGroup(); err != nil {
+				return Rec{}, false, err
+			}
+		default:
+			return Rec{}, false, nil
+		}
+	}
+}
+
+// sameLeftKey reports whether data shares the current left group key.
+func (m *MergeMatch) sameKey(s *record.Schema, a []byte, ka record.Key, b []byte, kb record.Key) bool {
+	return record.CompareKeys(s, a, ka, s, b, kb) == 0
+}
+
+// leftOnlyGroup consumes the group of left records equal to the current
+// one, emitting them if the operation outputs the left-only class.
+func (m *MergeMatch) leftOnlyGroup() error {
+	emitEach, emitOne, pad := false, false, false
+	switch m.op {
+	case MatchAnti:
+		emitEach = true
+	case MatchLeftOuter, MatchFullOuter:
+		emitEach, pad = true, true
+	case MatchUnion, MatchDifference:
+		emitOne = true
+	}
+	groupKey := append([]byte(nil), m.lrec.Data...)
+	first := true
+	for m.lok && m.sameKey(m.left.Schema(), m.lrec.Data, m.leftKey, groupKey, m.leftKey) {
+		switch {
+		case emitEach && pad:
+			out, err := m.combinePadRight(m.lrec.Data)
+			if err != nil {
+				m.lrec.Unfix()
+				return err
+			}
+			m.pending = append(m.pending, out)
+			m.lrec.Unfix()
+		case emitEach:
+			m.pending = append(m.pending, m.lrec.WithoutDirty())
+		case emitOne && first:
+			m.pending = append(m.pending, m.lrec.WithoutDirty())
+		default:
+			m.lrec.Unfix()
+		}
+		first = false
+		if err := m.advanceLeft(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rightOnlyGroup mirrors leftOnlyGroup for the right input.
+func (m *MergeMatch) rightOnlyGroup() error {
+	emitEach, emitOne, pad := false, false, false
+	switch m.op {
+	case MatchRightOuter, MatchFullOuter:
+		emitEach, pad = true, true
+	case MatchUnion, MatchAntiDifference:
+		emitOne = true
+	}
+	groupKey := append([]byte(nil), m.rrec.Data...)
+	first := true
+	for m.rok && m.sameKey(m.right.Schema(), m.rrec.Data, m.rightKey, groupKey, m.rightKey) {
+		switch {
+		case emitEach && pad:
+			out, err := m.combinePadLeft(m.rrec.Data)
+			if err != nil {
+				m.rrec.Unfix()
+				return err
+			}
+			m.pending = append(m.pending, out)
+			m.rrec.Unfix()
+		case emitEach:
+			m.pending = append(m.pending, m.rrec.WithoutDirty())
+		case emitOne && first:
+			m.pending = append(m.pending, m.rrec.WithoutDirty())
+		default:
+			m.rrec.Unfix()
+		}
+		first = false
+		if err := m.advanceRight(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchedGroup handles equal key groups on both sides.
+func (m *MergeMatch) matchedGroup() error {
+	// Buffer the right group (records stay pinned in the buffer, as the
+	// hash-based algorithm keeps its hash table pinned).
+	groupKey := append([]byte(nil), m.rrec.Data...)
+	var rgroup []Rec
+	for m.rok && m.sameKey(m.right.Schema(), m.rrec.Data, m.rightKey, groupKey, m.rightKey) {
+		rgroup = append(rgroup, m.rrec)
+		if err := m.advanceRight(); err != nil {
+			for _, r := range rgroup {
+				r.Unfix()
+			}
+			return err
+		}
+	}
+	releaseGroup := func() {
+		for _, r := range rgroup {
+			r.Unfix()
+		}
+	}
+
+	lKeySample := append([]byte(nil), m.lrec.Data...)
+	first := true
+	for m.lok && m.sameKey(m.left.Schema(), m.lrec.Data, m.leftKey, lKeySample, m.leftKey) {
+		switch m.op {
+		case MatchJoin, MatchLeftOuter, MatchRightOuter, MatchFullOuter:
+			for _, r := range rgroup {
+				out, err := m.combine(m.lrec.Data, r.Data)
+				if err != nil {
+					m.lrec.Unfix()
+					releaseGroup()
+					return err
+				}
+				m.pending = append(m.pending, out)
+			}
+			m.lrec.Unfix()
+		case MatchSemi:
+			m.pending = append(m.pending, m.lrec.WithoutDirty())
+		case MatchUnion, MatchIntersect:
+			if first {
+				m.pending = append(m.pending, m.lrec.WithoutDirty())
+			} else {
+				m.lrec.Unfix()
+			}
+		default: // anti, difference, anti-difference: matched class dropped
+			m.lrec.Unfix()
+		}
+		first = false
+		if err := m.advanceLeft(); err != nil {
+			releaseGroup()
+			return err
+		}
+	}
+	releaseGroup()
+	return nil
+}
+
+func (m *MergeMatch) combine(l, r []byte) (Rec, error) {
+	lv, err := m.left.Schema().Decode(l)
+	if err != nil {
+		return Rec{}, err
+	}
+	rv, err := m.right.Schema().Decode(r)
+	if err != nil {
+		return Rec{}, err
+	}
+	return m.w.Write(append(lv, rv...))
+}
+
+func (m *MergeMatch) combinePadRight(l []byte) (Rec, error) {
+	lv, err := m.left.Schema().Decode(l)
+	if err != nil {
+		return Rec{}, err
+	}
+	return m.w.Write(append(lv, zeroValues(m.right.Schema())...))
+}
+
+func (m *MergeMatch) combinePadLeft(r []byte) (Rec, error) {
+	rv, err := m.right.Schema().Decode(r)
+	if err != nil {
+		return Rec{}, err
+	}
+	return m.w.Write(append(zeroValues(m.left.Schema()), rv...))
+}
+
+// Close implements Iterator.
+func (m *MergeMatch) Close() error {
+	if !m.open {
+		return errState("mergematch", "close before open")
+	}
+	m.open = false
+	m.releasePending()
+	err := m.left.Close()
+	if rerr := m.right.Close(); err == nil {
+		err = rerr
+	}
+	if derr := m.dispose(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+func (m *MergeMatch) abort() {
+	m.releasePending()
+	_ = m.left.Close()
+	_ = m.right.Close()
+	_ = m.dispose()
+}
+
+func (m *MergeMatch) releasePending() {
+	for _, r := range m.pending {
+		r.Unfix()
+	}
+	m.pending = nil
+	if m.lok {
+		m.lrec.Unfix()
+		m.lok = false
+	}
+	if m.rok {
+		m.rrec.Unfix()
+		m.rok = false
+	}
+}
+
+func (m *MergeMatch) dispose() error {
+	if m.w == nil {
+		return nil
+	}
+	err := m.w.Dispose()
+	m.w = nil
+	return err
+}

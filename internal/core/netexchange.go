@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// NetExchange is the shared-nothing variant of the exchange operator —
+// the extension the paper announces as under way: "very high degrees of
+// parallelism and true high-performance query evaluation requires a
+// closely tied network, e.g., a hypercube, of shared-memory machines",
+// using the data-exchange paradigm "proven to perform well in a
+// shared-nothing database machine" (§4.1, referring to GAMMA).
+//
+// Unlike Exchange, which passes pinned buffer residents between goroutine
+// groups sharing one buffer pool, NetExchange connects groups on
+// different "machines" (separate buffer pools and devices): record bytes
+// are copied out of the producer machine's buffer, shipped through a
+// simulated network link in packets, and materialised into the consumer
+// machine's buffer on arrival. The iterator protocol, partitioning,
+// broadcast, end-of-stream tagging and shutdown handshake are identical
+// to the shared-memory exchange — operators above and below cannot tell
+// which kind of boundary they cross.
+type NetExchange struct {
+	cfg   NetExchangeConfig
+	start sync.Once
+	err   atomic.Value
+
+	queues  []*netQueue
+	done    sync.WaitGroup
+	bytes   atomic.Int64
+	packets atomic.Int64
+}
+
+// NetExchangeConfig is the state record of the shared-nothing exchange.
+type NetExchangeConfig struct {
+	Schema    *record.Schema
+	Producers int
+	Consumers int
+	// NewProducer builds producer g's subtree, on whatever machine the
+	// closure chooses (its iterators reference that machine's Env).
+	NewProducer func(g int) (Iterator, error)
+	// ConsumerEnv returns the environment (machine) consumer c
+	// materialises received records into.
+	ConsumerEnv func(c int) *Env
+	// NewPartition, Broadcast, PacketSize as in ExchangeConfig.
+	NewPartition func(g int) expr.Partitioner
+	Broadcast    bool
+	PacketSize   int
+	// Latency and Bandwidth simulate the interconnect: each packet sleeps
+	// Latency plus size/Bandwidth. Zero disables simulation.
+	Latency   time.Duration
+	Bandwidth int64 // bytes per second
+}
+
+// netPacket carries copied record images.
+type netPacket struct {
+	recs [][]byte
+	eos  bool
+	err  error
+}
+
+// netQueue is one consumer's input queue (bounded channel: the bound acts
+// as flow control, which a real network link always provides).
+type netQueue struct {
+	ch  chan *netPacket
+	eos int
+}
+
+// NewNetExchange validates the configuration.
+func NewNetExchange(cfg NetExchangeConfig) (*NetExchange, error) {
+	if cfg.Schema == nil {
+		return nil, errState("netexchange", "nil schema")
+	}
+	if cfg.Producers < 1 || cfg.Consumers < 1 {
+		return nil, errState("netexchange", "bad group sizes")
+	}
+	if cfg.NewProducer == nil || cfg.ConsumerEnv == nil {
+		return nil, errState("netexchange", "nil NewProducer or ConsumerEnv")
+	}
+	if cfg.Broadcast && cfg.NewPartition != nil {
+		return nil, errState("netexchange", "broadcast and partitioning are mutually exclusive")
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 83
+	}
+	if cfg.PacketSize < 1 || cfg.PacketSize > 255 {
+		return nil, errState("netexchange", "packet size out of range 1..255")
+	}
+	n := &NetExchange{cfg: cfg}
+	for c := 0; c < cfg.Consumers; c++ {
+		n.queues = append(n.queues, &netQueue{ch: make(chan *netPacket, 8)})
+	}
+	return n, nil
+}
+
+// Stats reports shipped volume.
+func (n *NetExchange) Stats() (packets, bytes int64) {
+	return n.packets.Load(), n.bytes.Load()
+}
+
+func (n *NetExchange) setErr(err error) {
+	if err != nil {
+		n.err.CompareAndSwap(nil, err)
+	}
+}
+
+func (n *NetExchange) firstErr() error {
+	if e, ok := n.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+func (n *NetExchange) ensureStarted() {
+	n.start.Do(func() {
+		n.done.Add(n.cfg.Producers)
+		for g := 0; g < n.cfg.Producers; g++ {
+			go n.producerLoop(g)
+		}
+	})
+}
+
+func (n *NetExchange) producerLoop(g int) {
+	defer n.done.Done()
+	input, err := n.cfg.NewProducer(g)
+	if err == nil && input != nil && !input.Schema().Equal(n.cfg.Schema) {
+		err = fmt.Errorf("core: netexchange: producer %d schema %s != %s", g, input.Schema(), n.cfg.Schema)
+	}
+	if err != nil {
+		n.setErr(err)
+		n.broadcastEOS()
+		return
+	}
+	if err := input.Open(); err != nil {
+		n.setErr(err)
+		n.broadcastEOS()
+		return
+	}
+	out := make([]*netPacket, n.cfg.Consumers)
+	var part expr.Partitioner
+	if !n.cfg.Broadcast && n.cfg.Consumers > 1 {
+		if n.cfg.NewPartition != nil {
+			part = n.cfg.NewPartition(g)
+		} else {
+			part = expr.RoundRobin(n.cfg.Consumers)
+		}
+	}
+	send := func(c int, eos bool) {
+		p := out[c]
+		out[c] = nil
+		if p == nil {
+			if !eos {
+				return
+			}
+			p = &netPacket{}
+		}
+		p.eos = eos
+		if eos {
+			p.err = n.firstErr()
+		}
+		size := 0
+		for _, r := range p.recs {
+			size += len(r)
+		}
+		n.simulateWire(size)
+		n.packets.Add(1)
+		n.bytes.Add(int64(size))
+		n.queues[c].ch <- p
+	}
+	add := func(c int, data []byte) {
+		p := out[c]
+		if p == nil {
+			p = &netPacket{recs: make([][]byte, 0, n.cfg.PacketSize)}
+			out[c] = p
+		}
+		p.recs = append(p.recs, data)
+		if len(p.recs) >= n.cfg.PacketSize {
+			send(c, false)
+		}
+	}
+	for {
+		r, ok, nerr := input.Next()
+		if nerr != nil {
+			n.setErr(nerr)
+			break
+		}
+		if !ok {
+			break
+		}
+		// Shared-nothing boundary: copy the record image out of this
+		// machine's buffer and release the pin immediately.
+		data := append([]byte(nil), r.Data...)
+		r.Unfix()
+		if n.cfg.Broadcast {
+			for c := range out {
+				add(c, data)
+			}
+		} else if part != nil {
+			c := part(data)
+			if c < 0 || c >= len(out) {
+				n.setErr(fmt.Errorf("core: netexchange: partition returned %d", c))
+				continue
+			}
+			add(c, data)
+		} else {
+			add(0, data)
+		}
+	}
+	for c := range out {
+		send(c, true)
+	}
+	// No shared buffer: nothing the consumers hold can reference this
+	// machine's memory, so the producer may close immediately — the
+	// shutdown handshake of the shared-memory exchange is unnecessary.
+	if cerr := input.Close(); cerr != nil {
+		n.setErr(cerr)
+	}
+}
+
+func (n *NetExchange) broadcastEOS() {
+	for _, q := range n.queues {
+		n.packets.Add(1)
+		q.ch <- &netPacket{eos: true, err: n.firstErr()}
+	}
+}
+
+// simulateWire models the interconnect cost of one packet.
+func (n *NetExchange) simulateWire(size int) {
+	d := n.cfg.Latency
+	if n.cfg.Bandwidth > 0 {
+		d += time.Duration(int64(size) * int64(time.Second) / n.cfg.Bandwidth)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Consumer returns consumer endpoint c: an iterator on the consumer
+// machine that materialises arriving records into that machine's buffer.
+func (n *NetExchange) Consumer(c int) Iterator {
+	return &netConsumer{x: n, idx: c}
+}
+
+type netConsumer struct {
+	x   *NetExchange
+	idx int
+
+	w    *ResultWriter
+	cur  *netPacket
+	pos  int
+	open bool
+	done bool
+}
+
+// Schema implements Iterator.
+func (c *netConsumer) Schema() *record.Schema { return c.x.cfg.Schema }
+
+// Open implements Iterator.
+func (c *netConsumer) Open() error {
+	if c.open {
+		return errState("netexchange", "consumer already open")
+	}
+	if c.idx < 0 || c.idx >= c.x.cfg.Consumers {
+		return errState("netexchange", "consumer index out of range")
+	}
+	env := c.x.cfg.ConsumerEnv(c.idx)
+	if env == nil {
+		return errState("netexchange", "nil consumer env")
+	}
+	w, err := env.NewResultWriter("netx", c.x.cfg.Schema)
+	if err != nil {
+		return err
+	}
+	c.w = w
+	c.x.ensureStarted()
+	c.cur, c.pos, c.done = nil, 0, false
+	c.open = true
+	return nil
+}
+
+// Next implements Iterator: received images become pinned residents of
+// the consumer machine's buffer.
+func (c *netConsumer) Next() (Rec, bool, error) {
+	if !c.open {
+		return Rec{}, false, errState("netexchange", "consumer next before open")
+	}
+	q := c.x.queues[c.idx]
+	for {
+		if c.cur != nil && c.pos < len(c.cur.recs) {
+			data := c.cur.recs[c.pos]
+			c.pos++
+			r, err := c.w.WriteBytes(data)
+			if err != nil {
+				return Rec{}, false, err
+			}
+			return r, true, nil
+		}
+		if c.cur != nil && c.cur.err != nil {
+			err := c.cur.err
+			c.cur = nil
+			return Rec{}, false, err
+		}
+		c.cur, c.pos = nil, 0
+		if c.done {
+			return Rec{}, false, nil
+		}
+		p := <-q.ch
+		if p.eos {
+			q.eos++
+			if q.eos == c.x.cfg.Producers {
+				c.done = true
+			}
+			if len(p.recs) == 0 && p.err == nil {
+				continue
+			}
+		}
+		c.cur = p
+	}
+}
+
+// Close implements Iterator.
+func (c *netConsumer) Close() error {
+	if !c.open {
+		return errState("netexchange", "consumer close before open")
+	}
+	c.open = false
+	// Drain so producers never block on the bounded channel.
+	q := c.x.queues[c.idx]
+	for q.eos < c.x.cfg.Producers {
+		p := <-q.ch
+		if p.eos {
+			q.eos++
+		}
+	}
+	c.cur = nil
+	err := c.w.Dispose()
+	c.w = nil
+	if e := c.x.firstErr(); err == nil && e != nil {
+		// Surface producer errors that arrived after the last Next.
+		err = e
+	}
+	return err
+}

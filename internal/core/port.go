@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sync"
+)
+
+// A port is the shared data structure the exchange operator creates for
+// synchronisation and data exchange between a producer group and a
+// consumer group (paper, §4.1). It holds one queue per consumer; producers
+// deposit packets of records into consumer queues, and an optional flow
+// control semaphore per queue bounds how far producers may run ahead.
+
+// packet is the unit of data exchange: up to PacketSize NEXT_RECORD
+// structures, an end-of-stream tag, and (in this implementation) an error
+// slot so producer failures propagate to consumers.
+type packet struct {
+	recs     []Rec
+	eos      bool
+	err      error
+	producer int
+}
+
+// queue is one consumer's input queue. In merge mode (keepStreams) the
+// packets are kept separated by producer so a merge iterator can consume
+// each sorted stream individually (paper, §4.4).
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	shared []*packet   // normal mode: one FIFO
+	byProd [][]*packet // merge mode: one FIFO per producer
+
+	eosSeen   int    // producers that have delivered their final packet
+	eosByProd []bool // merge mode: per-producer end-of-stream
+	closed    bool   // consumer abandoned the queue
+
+	// fc is the flow control semaphore: producers take a token after each
+	// insertion, consumers return one after each removal. Initialised with
+	// `slack` tokens; nil when flow control is disabled.
+	fc chan struct{}
+}
+
+func newQueue(producers int, keepStreams bool, flowControl bool, slack int) *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	if keepStreams {
+		q.byProd = make([][]*packet, producers)
+		q.eosByProd = make([]bool, producers)
+	}
+	if flowControl {
+		if slack < 1 {
+			slack = 1
+		}
+		q.fc = make(chan struct{}, slack)
+		for i := 0; i < slack; i++ {
+			q.fc <- struct{}{}
+		}
+	}
+	return q
+}
+
+// push inserts a packet and signals the consumer; with flow control it
+// then acquires a semaphore token, blocking if the producers are already
+// `slack` packets ahead ("after a producer has inserted a new packet into
+// the port, it must request the flow control semaphore", §4.1).
+func (q *queue) push(p *packet) {
+	q.mu.Lock()
+	if q.closed {
+		// Consumer is gone: release the records instead of queueing them.
+		q.mu.Unlock()
+		for _, r := range p.recs {
+			r.Unfix()
+		}
+		if p.eos {
+			q.mu.Lock()
+			q.noteEOS(p)
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		}
+		return
+	}
+	if q.byProd != nil {
+		q.byProd[p.producer] = append(q.byProd[p.producer], p)
+	} else {
+		q.shared = append(q.shared, p)
+	}
+	if p.eos {
+		q.noteEOS(p)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if q.fc != nil && !p.eos {
+		<-q.fc
+	}
+}
+
+// noteEOS records an end-of-stream tag. Callers hold q.mu.
+func (q *queue) noteEOS(p *packet) {
+	q.eosSeen++
+	if q.eosByProd != nil {
+		q.eosByProd[p.producer] = true
+	}
+}
+
+// pop removes the next packet from the shared FIFO, blocking until one is
+// available or all producers have delivered end-of-stream and the queue is
+// empty (returns nil).
+func (q *queue) pop(producers int) *packet {
+	q.mu.Lock()
+	for len(q.shared) == 0 && q.eosSeen < producers {
+		q.cond.Wait()
+	}
+	var p *packet
+	if len(q.shared) > 0 {
+		p = q.shared[0]
+		q.shared = q.shared[1:]
+	}
+	q.mu.Unlock()
+	if p != nil && q.fc != nil && !p.eos {
+		q.fc <- struct{}{}
+	}
+	return p
+}
+
+// popFrom removes the next packet of one producer's stream (merge mode).
+// Returns nil when that stream has delivered end-of-stream and is empty.
+func (q *queue) popFrom(producer int) *packet {
+	q.mu.Lock()
+	for len(q.byProd[producer]) == 0 && !q.eosByProd[producer] {
+		q.cond.Wait()
+	}
+	var p *packet
+	if l := q.byProd[producer]; len(l) > 0 {
+		p = l[0]
+		q.byProd[producer] = l[1:]
+	}
+	q.mu.Unlock()
+	if p != nil && q.fc != nil && !p.eos {
+		q.fc <- struct{}{}
+	}
+	return p
+}
+
+// tryPop removes the next available packet without blocking (inline mode).
+func (q *queue) tryPop() *packet {
+	q.mu.Lock()
+	var p *packet
+	if q.byProd != nil {
+		for i := range q.byProd {
+			if len(q.byProd[i]) > 0 {
+				p = q.byProd[i][0]
+				q.byProd[i] = q.byProd[i][1:]
+				break
+			}
+		}
+	} else if len(q.shared) > 0 {
+		p = q.shared[0]
+		q.shared = q.shared[1:]
+	}
+	q.mu.Unlock()
+	if p != nil && q.fc != nil && !p.eos {
+		q.fc <- struct{}{}
+	}
+	return p
+}
+
+// drain unfixes everything still queued (consumer shutdown) and marks the
+// queue closed so producers stop queueing into it.
+func (q *queue) drain() {
+	q.mu.Lock()
+	q.closed = true
+	var all []*packet
+	all = append(all, q.shared...)
+	q.shared = nil
+	for i := range q.byProd {
+		all = append(all, q.byProd[i]...)
+		q.byProd[i] = nil
+	}
+	q.mu.Unlock()
+	for _, p := range all {
+		for _, r := range p.recs {
+			r.Unfix()
+		}
+		if q.fc != nil && !p.eos {
+			q.fc <- struct{}{}
+		}
+	}
+}
+
+// waitAllEOS blocks until every producer has delivered end-of-stream.
+func (q *queue) waitAllEOS(producers int) {
+	q.mu.Lock()
+	for q.eosSeen < producers {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// port ties the queues together with the shutdown handshake.
+type port struct {
+	queues []*queue
+
+	// allowClose is the semaphore the (last) consumer releases to permit
+	// producers to shut down; producers wait on it after their final
+	// packet ("waits until the consumer allows closing all open files",
+	// §4.1 — the delay protects records of virtual files still pinned).
+	allowClose chan struct{}
+
+	// producersDone is the acknowledgement the consumer waits for before
+	// returning from close.
+	producersDone sync.WaitGroup
+}
+
+func newPort(producers, consumers int, keepStreams, flowControl bool, slack int) *port {
+	pt := &port{allowClose: make(chan struct{})}
+	for i := 0; i < consumers; i++ {
+		pt.queues = append(pt.queues, newQueue(producers, keepStreams, flowControl, slack))
+	}
+	return pt
+}

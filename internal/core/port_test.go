@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Port/queue unit tests: the packet FIFO, end-of-stream accounting, the
+// flow-control semaphore's token conservation, and drain semantics.
+
+func TestQueuePushPopFIFO(t *testing.T) {
+	q := newQueue(1, false, false, 0)
+	for i := 0; i < 5; i++ {
+		q.push(&packet{producer: i})
+	}
+	for i := 0; i < 5; i++ {
+		p := q.pop(1)
+		if p == nil || p.producer != i {
+			t.Fatalf("pop %d = %+v", i, p)
+		}
+	}
+}
+
+func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
+	q := newQueue(2, false, false, 0)
+	q.push(&packet{producer: 0, eos: true})
+	q.push(&packet{producer: 1, eos: true})
+	// Two tagged packets pop normally, then nil.
+	if q.pop(2) == nil || q.pop(2) == nil {
+		t.Fatal("tagged packets should pop")
+	}
+	if q.pop(2) != nil {
+		t.Fatal("pop after all EOS should be nil")
+	}
+}
+
+func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
+	q := newQueue(1, false, true, 2)
+	// Two pushes consume both tokens without blocking.
+	done := make(chan struct{})
+	go func() {
+		q.push(&packet{})
+		q.push(&packet{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pushes within slack blocked")
+	}
+	// The third push must block until a consumer pops.
+	third := make(chan struct{})
+	go func() {
+		q.push(&packet{})
+		close(third)
+	}()
+	select {
+	case <-third:
+		t.Fatal("push beyond slack did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if q.pop(1) == nil {
+		t.Fatal("pop failed")
+	}
+	select {
+	case <-third:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop did not release the blocked producer")
+	}
+}
+
+func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
+	q := newQueue(1, false, true, 1)
+	q.push(&packet{}) // consumes the only token
+	done := make(chan struct{})
+	go func() {
+		q.push(&packet{eos: true}) // must not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("EOS packet blocked on flow control")
+	}
+}
+
+func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
+	q := newQueue(1, false, true, 1)
+	q.push(&packet{})
+	blocked := make(chan struct{})
+	go func() {
+		q.push(&packet{})
+		close(blocked)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.drain()
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not unblock producer")
+	}
+	// Pushes after drain are discarded, but EOS still counts.
+	q.push(&packet{eos: true})
+	q.mu.Lock()
+	eos, nq := q.eosSeen, len(q.shared)
+	q.mu.Unlock()
+	if eos != 1 || nq != 0 {
+		t.Fatalf("after drain: eos=%d queued=%d", eos, nq)
+	}
+}
+
+func TestQueueKeepStreamsPopFrom(t *testing.T) {
+	q := newQueue(2, true, false, 0)
+	q.push(&packet{producer: 1})
+	q.push(&packet{producer: 0})
+	q.push(&packet{producer: 1, eos: true})
+	q.push(&packet{producer: 0, eos: true})
+	// Stream 0 sees only producer 0's packets, in order.
+	if p := q.popFrom(0); p == nil || p.producer != 0 || p.eos {
+		t.Fatalf("popFrom(0) = %+v", p)
+	}
+	if p := q.popFrom(0); p == nil || !p.eos {
+		t.Fatal("expected producer 0 EOS")
+	}
+	if p := q.popFrom(0); p != nil {
+		t.Fatal("stream 0 should be done")
+	}
+	if p := q.popFrom(1); p == nil || p.producer != 1 {
+		t.Fatal("stream 1 lost its packet")
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	q := newQueue(1, false, false, 0)
+	if q.tryPop() != nil {
+		t.Fatal("tryPop on empty queue returned a packet")
+	}
+	q.push(&packet{producer: 7})
+	if p := q.tryPop(); p == nil || p.producer != 7 {
+		t.Fatalf("tryPop = %+v", p)
+	}
+}

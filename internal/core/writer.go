@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/record"
+	"repro/internal/storage/file"
+)
+
+// ResultWriter materialises operator output records into an intermediate
+// file on the temp volume, following the ownership protocol: every record
+// written is returned pinned ("complex operations like join that create
+// new records have to fix them in the buffer before passing them on",
+// paper §3).
+type ResultWriter struct {
+	env    *Env
+	schema *record.Schema
+	f      *file.File
+}
+
+// NewResultWriter creates a writer with a fresh temp file.
+func (e *Env) NewResultWriter(prefix string, schema *record.Schema) (*ResultWriter, error) {
+	f, err := e.CreateTemp(prefix, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultWriter{env: e, schema: schema, f: f}, nil
+}
+
+// Schema returns the writer's record schema.
+func (w *ResultWriter) Schema() *record.Schema { return w.schema }
+
+// File returns the backing temp file (for operators that rescan output).
+func (w *ResultWriter) File() *file.File { return w.f }
+
+// Write encodes the values and appends them, returning the pinned record.
+func (w *ResultWriter) Write(vals []record.Value) (Rec, error) {
+	data, err := w.schema.Encode(vals)
+	if err != nil {
+		return Rec{}, err
+	}
+	return w.f.InsertPinned(data)
+}
+
+// WriteBytes appends pre-encoded record bytes, returning the pinned record.
+func (w *ResultWriter) WriteBytes(data []byte) (Rec, error) {
+	return w.f.InsertPinned(data)
+}
+
+// Dispose deletes the temp file. All written records must have been
+// unpinned by their consumers.
+func (w *ResultWriter) Dispose() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.env.DropTemp(w.f)
+	w.f = nil
+	return err
+}

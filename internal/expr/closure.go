@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// Evaluator is the common shape of both compiled and interpreted support
+// functions: evaluate an expression against one encoded record.
+type Evaluator func(data []byte) (record.Value, error)
+
+// CompileClosure type-checks e against the schema and builds a tree of Go
+// closures evaluating it. This is the compiled form of a support function
+// — the Go analog of the paper's "predicate evaluation function available
+// in machine code".
+func CompileClosure(e Expr, s *record.Schema) (Evaluator, record.Type, error) {
+	typ, err := e.TypeCheck(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev, err := buildClosure(e, s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ev, typ, nil
+}
+
+func buildClosure(e Expr, s *record.Schema) (Evaluator, error) {
+	switch n := e.(type) {
+	case *Lit:
+		v := n.Val
+		return func([]byte) (record.Value, error) { return v, nil }, nil
+	case *Field:
+		return buildLoad(n.Index, n.typ, s), nil
+	case *Ident:
+		return buildLoad(n.index, n.typ, s), nil
+	case *Un:
+		x, err := buildClosure(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case n.Op == OpNot:
+			return func(d []byte) (record.Value, error) {
+				v, err := x(d)
+				if err != nil {
+					return v, err
+				}
+				return record.Bool(!v.B), nil
+			}, nil
+		case n.typ == record.TInt:
+			return func(d []byte) (record.Value, error) {
+				v, err := x(d)
+				if err != nil {
+					return v, err
+				}
+				return record.Int(-v.I), nil
+			}, nil
+		default:
+			return func(d []byte) (record.Value, error) {
+				v, err := x(d)
+				if err != nil {
+					return v, err
+				}
+				return record.Float(-v.F), nil
+			}, nil
+		}
+	case *Bin:
+		return buildBinClosure(n, s)
+	default:
+		return nil, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+func buildLoad(idx int, t record.Type, s *record.Schema) Evaluator {
+	switch t {
+	case record.TInt:
+		return func(d []byte) (record.Value, error) { return record.Int(s.GetInt(d, idx)), nil }
+	case record.TFloat:
+		return func(d []byte) (record.Value, error) { return record.Float(s.GetFloat(d, idx)), nil }
+	case record.TBool:
+		return func(d []byte) (record.Value, error) { return record.Bool(s.GetBool(d, idx)), nil }
+	default:
+		return func(d []byte) (record.Value, error) { return record.Bytes(s.GetBytes(d, idx)), nil }
+	}
+}
+
+func buildBinClosure(n *Bin, s *record.Schema) (Evaluator, error) {
+	l, err := buildClosure(n.L, s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := buildClosure(n.R, s)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpAnd:
+		return func(d []byte) (record.Value, error) {
+			lv, err := l(d)
+			if err != nil || !lv.B {
+				return lv, err
+			}
+			return r(d)
+		}, nil
+	case OpOr:
+		return func(d []byte) (record.Value, error) {
+			lv, err := l(d)
+			if err != nil || lv.B {
+				return lv, err
+			}
+			return r(d)
+		}, nil
+	case OpLike:
+		return func(d []byte) (record.Value, error) {
+			lv, err := l(d)
+			if err != nil {
+				return lv, err
+			}
+			rv, err := r(d)
+			if err != nil {
+				return rv, err
+			}
+			return record.Bool(likeMatch(lv.S, rv.S)), nil
+		}, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		op := n.Op
+		return func(d []byte) (record.Value, error) {
+			lv, err := l(d)
+			if err != nil {
+				return lv, err
+			}
+			rv, err := r(d)
+			if err != nil {
+				return rv, err
+			}
+			return record.Bool(cmpResult(op, compareValues(lv, rv))), nil
+		}, nil
+	}
+
+	// Arithmetic with optional int->float promotion, specialised per type.
+	if n.typ == record.TInt {
+		var f func(a, b int64) (int64, error)
+		switch n.Op {
+		case OpAdd:
+			f = func(a, b int64) (int64, error) { return a + b, nil }
+		case OpSub:
+			f = func(a, b int64) (int64, error) { return a - b, nil }
+		case OpMul:
+			f = func(a, b int64) (int64, error) { return a * b, nil }
+		case OpDiv:
+			f = func(a, b int64) (int64, error) {
+				if b == 0 {
+					return 0, fmt.Errorf("expr: integer division by zero")
+				}
+				return a / b, nil
+			}
+		case OpMod:
+			f = func(a, b int64) (int64, error) {
+				if b == 0 {
+					return 0, fmt.Errorf("expr: integer modulo by zero")
+				}
+				return a % b, nil
+			}
+		default:
+			return nil, fmt.Errorf("expr: cannot compile binary %s", n.Op)
+		}
+		return func(d []byte) (record.Value, error) {
+			lv, err := l(d)
+			if err != nil {
+				return lv, err
+			}
+			rv, err := r(d)
+			if err != nil {
+				return rv, err
+			}
+			i, err := f(lv.I, rv.I)
+			return record.Int(i), err
+		}, nil
+	}
+
+	var f func(a, b float64) float64
+	switch n.Op {
+	case OpAdd:
+		f = func(a, b float64) float64 { return a + b }
+	case OpSub:
+		f = func(a, b float64) float64 { return a - b }
+	case OpMul:
+		f = func(a, b float64) float64 { return a * b }
+	case OpDiv:
+		f = func(a, b float64) float64 { return a / b }
+	default:
+		return nil, fmt.Errorf("expr: cannot compile binary %s", n.Op)
+	}
+	return func(d []byte) (record.Value, error) {
+		lv, err := l(d)
+		if err != nil {
+			return lv, err
+		}
+		rv, err := r(d)
+		if err != nil {
+			return rv, err
+		}
+		return record.Float(f(toFloat(lv), toFloat(rv))), nil
+	}, nil
+}

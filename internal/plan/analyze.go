@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// Analysis collects runtime statistics per plan node: how many records
+// each operator produced and how much (inclusive) wall time its Next
+// calls took. Parallel instances of the same node — the per-producer
+// subtrees an exchange instantiates — aggregate into one entry.
+type Analysis struct {
+	root  *Node
+	stats map[*Node]*NodeStats
+}
+
+// NodeStats are one node's counters. All fields are safe for concurrent
+// update from parallel plan instances.
+type NodeStats struct {
+	Records   atomic.Int64
+	NextCalls atomic.Int64
+	NextNanos atomic.Int64
+	Opens     atomic.Int64
+}
+
+// BuildAnalyzed is Build with instrumentation: every operator is wrapped
+// in a counting adapter. Inspect the returned Analysis after execution.
+func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysis, error) {
+	an := &Analysis{root: n, stats: map[*Node]*NodeStats{}}
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		an.stats[nd] = &NodeStats{}
+		for _, in := range nd.Inputs {
+			walk(in)
+		}
+	}
+	walk(n)
+	it, err := build(&buildCtx{env: env, cat: cat, analysis: an}, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, an, nil
+}
+
+// Stats returns the counters recorded for a node.
+func (a *Analysis) Stats(n *Node) *NodeStats { return a.stats[n] }
+
+// String renders the plan with per-node record counts and time.
+func (a *Analysis) String() string {
+	var sb strings.Builder
+	a.render(&sb, a.root, 0)
+	return sb.String()
+}
+
+func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
+	st := a.stats[n]
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(describe(n))
+	if st != nil {
+		d := time.Duration(st.NextNanos.Load())
+		fmt.Fprintf(sb, "  [rows=%d, opens=%d, next=%v]",
+			st.Records.Load(), st.Opens.Load(), d.Round(time.Microsecond))
+	}
+	sb.WriteByte('\n')
+	for _, in := range n.Inputs {
+		a.render(sb, in, depth+1)
+	}
+}
+
+// counted is the instrumentation adapter. It is itself a plain iterator,
+// so instrumentation composes with everything else.
+type counted struct {
+	inner core.Iterator
+	st    *NodeStats
+}
+
+// Schema implements core.Iterator.
+func (c *counted) Schema() *record.Schema { return c.inner.Schema() }
+
+// Open implements core.Iterator.
+func (c *counted) Open() error {
+	c.st.Opens.Add(1)
+	return c.inner.Open()
+}
+
+// Next implements core.Iterator.
+func (c *counted) Next() (core.Rec, bool, error) {
+	start := time.Now()
+	r, ok, err := c.inner.Next()
+	c.st.NextNanos.Add(int64(time.Since(start)))
+	c.st.NextCalls.Add(1)
+	if ok {
+		c.st.Records.Add(1)
+	}
+	return r, ok, err
+}
+
+// Close implements core.Iterator.
+func (c *counted) Close() error { return c.inner.Close() }

@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildAnalyzedCounts(t *testing.T) {
+	db := newTestDB(t)
+	db.loadEmp(t, 100, 4)
+	n, err := Parse("scan emp | filter dept = 1 | sort salary desc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, an, err := BuildAnalyzed(db.env, db.cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := core.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 25 {
+		t.Fatalf("rows = %d", count)
+	}
+	// Root (sort) produced 25, filter produced 25, scan produced 100.
+	if got := an.Stats(n).Records.Load(); got != 25 {
+		t.Fatalf("sort rows = %d", got)
+	}
+	if got := an.Stats(n.Inputs[0]).Records.Load(); got != 25 {
+		t.Fatalf("filter rows = %d", got)
+	}
+	if got := an.Stats(n.Inputs[0].Inputs[0]).Records.Load(); got != 100 {
+		t.Fatalf("scan rows = %d", got)
+	}
+	out := an.String()
+	if !strings.Contains(out, "rows=100") || !strings.Contains(out, "rows=25") {
+		t.Fatalf("analysis output:\n%s", out)
+	}
+}
+
+func TestBuildAnalyzedParallelAggregatesInstances(t *testing.T) {
+	db := newTestDB(t)
+	db.loadPartitioned(t, "nums", 600, 3)
+	n, err := Parse("pscan nums 3 | exchange producers=3 | agg group v compute count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, an, err := BuildAnalyzed(db.env, db.cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Drain(it); err != nil {
+		t.Fatal(err)
+	}
+	// The pscan node aggregates across all three producer instances.
+	scanNode := n.Inputs[0].Inputs[0]
+	if got := an.Stats(scanNode).Records.Load(); got != 600 {
+		t.Fatalf("pscan rows = %d, want 600", got)
+	}
+	if got := an.Stats(scanNode).Opens.Load(); got != 3 {
+		t.Fatalf("pscan opens = %d, want 3", got)
+	}
+}

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// Explain renders the plan tree as an indented outline.
+func Explain(n *Node) string {
+	var sb strings.Builder
+	explain(&sb, n, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, n *Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(describe(n))
+	sb.WriteByte('\n')
+	for _, in := range n.Inputs {
+		explain(sb, in, depth+1)
+	}
+}
+
+func describe(n *Node) string {
+	switch n.Kind {
+	case KindScan:
+		return fmt.Sprintf("scan %s", n.Table)
+	case KindPartitionedScan:
+		return fmt.Sprintf("pscan %s [%d partitions]", n.Table, n.Partitions)
+	case KindIndexScan:
+		bounds := ""
+		if n.LoKey != nil {
+			bounds += fmt.Sprintf(" from %d", *n.LoKey)
+		}
+		if n.HiKey != nil {
+			bounds += fmt.Sprintf(" to %d", *n.HiKey)
+		}
+		return fmt.Sprintf("iscan %s via %s%s", n.Table, n.IndexName, bounds)
+	case KindFilter:
+		return fmt.Sprintf("filter (%s) [%s]", n.Pred, n.Mode)
+	case KindProject:
+		return fmt.Sprintf("project %s", strings.Join(n.Exprs, ", "))
+	case KindSort:
+		if n.SortTerms != nil {
+			return fmt.Sprintf("sort %s", termsString(n.SortTerms, true))
+		}
+		return fmt.Sprintf("sort %s", sortSpecString(n.SortBy))
+	case KindDistinct:
+		return fmt.Sprintf("distinct [%s]", n.Algo)
+	case KindAggregate:
+		parts := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			parts[i] = fmt.Sprintf("%s($%d)", a.Func, a.Field)
+		}
+		return fmt.Sprintf("aggregate group=%v %s [%s]", n.GroupBy, strings.Join(parts, ","), n.Algo)
+	case KindMatch:
+		if n.AllFieldKeys {
+			return fmt.Sprintf("%s [%s]", n.MatchOp, n.Algo)
+		}
+		if n.LeftTerms != nil {
+			return fmt.Sprintf("%s on %s=%s [%s]", n.MatchOp,
+				termsString(n.LeftTerms, false), termsString(n.RightTerms, false), n.Algo)
+		}
+		return fmt.Sprintf("%s on %v=%v [%s]", n.MatchOp, n.LeftKey, n.RightKey, n.Algo)
+	case KindNestedLoops:
+		if n.Pred == "" {
+			return "cartesian product"
+		}
+		return fmt.Sprintf("nested loops (%s)", n.Pred)
+	case KindDivision:
+		return fmt.Sprintf("division quot=%v div=%v [%s]", n.QuotKey, n.DivKey, n.Algo)
+	case KindExchange:
+		o := n.X
+		var opts []string
+		opts = append(opts, fmt.Sprintf("producers=%d consumers=%d", o.Producers, max1(o.Consumers)))
+		if o.PacketSize != 0 {
+			opts = append(opts, fmt.Sprintf("packet=%d", o.PacketSize))
+		}
+		if o.FlowControl {
+			opts = append(opts, fmt.Sprintf("flow=on slack=%d", o.Slack))
+		}
+		if o.Broadcast {
+			opts = append(opts, "broadcast")
+		}
+		if o.Inline {
+			opts = append(opts, "inline")
+		}
+		if o.KeepStreams {
+			spec := sortSpecString(o.MergeSort)
+			if n.MergeTerms != nil {
+				spec = termsString(n.MergeTerms, true)
+			}
+			opts = append(opts, fmt.Sprintf("merge %s", spec))
+		}
+		if len(o.HashKeys) > 0 {
+			opts = append(opts, fmt.Sprintf("partition=hash%v", o.HashKeys))
+		}
+		if o.UseRange {
+			opts = append(opts, fmt.Sprintf("partition=range($%d)", o.RangeCol))
+		}
+		return "exchange " + strings.Join(opts, " ")
+	default:
+		return n.Kind.String()
+	}
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// termsString renders unresolved field terms; withDir appends asc/desc.
+func termsString(terms []Term, withDir bool) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		ref := t.Name
+		if !t.ByName {
+			ref = fmt.Sprintf("$%d", t.Index)
+		}
+		if withDir {
+			dir := " asc"
+			if t.Desc {
+				dir = " desc"
+			}
+			ref += dir
+		}
+		parts[i] = ref
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortSpecString(spec []record.SortSpec) string {
+	parts := make([]string, len(spec))
+	for i, s := range spec {
+		dir := "asc"
+		if s.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("$%d %s", s.Field, dir)
+	}
+	return strings.Join(parts, ", ")
+}

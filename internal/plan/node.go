@@ -1,0 +1,498 @@
+// Package plan provides a declarative layer over the core iterators: plan
+// trees that can be built programmatically or parsed from a small plan
+// language, validated, explained, and instantiated — including parallel
+// instantiation of exchange nodes with producer-indexed subtrees.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/storage/btree"
+	"repro/internal/storage/file"
+)
+
+// Kind enumerates plan node types.
+type Kind uint8
+
+// Plan node kinds.
+const (
+	KindScan Kind = iota
+	KindPartitionedScan
+	KindIndexScan
+	KindFilter
+	KindProject
+	KindSort
+	KindDistinct
+	KindAggregate
+	KindMatch
+	KindNestedLoops
+	KindDivision
+	KindExchange
+)
+
+var kindNames = map[Kind]string{
+	KindScan: "scan", KindPartitionedScan: "pscan", KindIndexScan: "iscan",
+	KindFilter: "filter", KindProject: "project", KindSort: "sort",
+	KindDistinct: "distinct", KindAggregate: "aggregate", KindMatch: "match",
+	KindNestedLoops: "nestedloops", KindDivision: "division", KindExchange: "exchange",
+}
+
+// String names the kind.
+func (k Kind) String() string { return kindNames[k] }
+
+// Algo selects between the two algorithms of binary/grouping operators.
+type Algo uint8
+
+// Algorithm choices.
+const (
+	AlgoHash Algo = iota
+	AlgoSort
+	AlgoLoops // nested loops (joins only)
+)
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoSort:
+		return "sort"
+	case AlgoLoops:
+		return "loops"
+	default:
+		return "hash"
+	}
+}
+
+// Node is one operator of a plan tree.
+type Node struct {
+	Kind   Kind
+	Inputs []*Node
+
+	// Scan / PartitionedScan / IndexScan.
+	Table      string
+	Partitions int // PartitionedScan: files "<Table>.<g>"
+	ReadAhead  bool
+	// IndexScan: the catalogued index name and optional int-key bounds.
+	IndexName string
+	LoKey     *int64
+	HiKey     *int64
+
+	// Filter / NestedLoops predicate, Project expressions.
+	Pred  string
+	Exprs []string
+	Names []string
+	Mode  expr.Mode
+
+	// Sort.
+	SortBy []record.SortSpec
+
+	// Aggregate / Distinct / Match / Division keys.
+	GroupBy  record.Key
+	Aggs     []core.AggSpec
+	Algo     Algo
+	MatchOp  core.MatchOp
+	LeftKey  record.Key
+	RightKey record.Key
+	QuotKey  record.Key
+	DivKey   record.Key
+	DivisKey record.Key
+
+	// Unresolved (by-name) variants, filled by the plan-language parser
+	// and resolved against input schemas at build time. When a Terms
+	// field is non-nil it takes precedence over its indexed counterpart.
+	SortTerms  []Term
+	GroupTerms []Term
+	AggTerms   []Term // parallel to Aggs; Index -1 for count
+	LeftTerms  []Term
+	RightTerms []Term
+	QuotTerms  []Term
+	DivTerms   []Term
+	DivisTerms []Term
+	HashTerms  []Term // exchange hash partition fields
+	MergeTerms []Term // exchange merge order
+	// AllFieldKeys makes match keys cover every field (set operations).
+	AllFieldKeys bool
+
+	// Exchange.
+	X *XOpts
+}
+
+// XOpts carries the exchange state-record settings at the plan level.
+type XOpts struct {
+	Producers   int
+	Consumers   int
+	PacketSize  int
+	FlowControl bool
+	Slack       int
+	Broadcast   bool
+	Inline      bool
+	KeepStreams bool
+	MergeSort   []record.SortSpec // with KeepStreams: merge streams on this order
+	Fork        core.ForkScheme
+	ForkCost    time.Duration
+	// Partition: "" (round robin), or hash keys.
+	HashKeys  record.Key
+	RangeCol  int
+	RangeCuts []record.Value
+	UseRange  bool
+}
+
+// Catalog resolves table names to files.
+type Catalog interface {
+	Lookup(name string) (*file.File, error)
+}
+
+// IndexCatalog is the optional extension catalogs implement when they can
+// also resolve named B+-tree indexes (durable volumes do).
+type IndexCatalog interface {
+	LookupIndex(name string) (*btree.Tree, error)
+}
+
+// MapCatalog is a Catalog backed by a map.
+type MapCatalog map[string]*file.File
+
+// Lookup implements Catalog.
+func (m MapCatalog) Lookup(name string) (*file.File, error) {
+	f, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: table %q not found", name)
+	}
+	return f, nil
+}
+
+// VolumeCatalog resolves names against volumes, in order.
+type VolumeCatalog []*file.Volume
+
+// Lookup implements Catalog.
+func (v VolumeCatalog) Lookup(name string) (*file.File, error) {
+	for _, vol := range v {
+		if f, err := vol.Open(name); err == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: table %q not found on any volume", name)
+}
+
+// LookupIndex implements IndexCatalog.
+func (v VolumeCatalog) LookupIndex(name string) (*btree.Tree, error) {
+	for _, vol := range v {
+		if t, err := vol.OpenIndex(name); err == nil {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: index %q not found on any volume", name)
+}
+
+// buildCtx carries instantiation state.
+type buildCtx struct {
+	env       *core.Env
+	cat       Catalog
+	partition int       // current producer index (for partitioned scans)
+	analysis  *Analysis // non-nil when instrumenting (BuildAnalyzed)
+}
+
+// Build instantiates the plan into an iterator tree.
+func Build(env *core.Env, cat Catalog, n *Node) (core.Iterator, error) {
+	return build(&buildCtx{env: env, cat: cat}, n)
+}
+
+// build instantiates one node, adding instrumentation when requested.
+func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
+	it, err := buildNode(ctx, n)
+	if err != nil || ctx.analysis == nil {
+		return it, err
+	}
+	st := ctx.analysis.stats[n]
+	if st == nil {
+		return it, nil
+	}
+	return &counted{inner: it, st: st}, nil
+}
+
+func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
+	switch n.Kind {
+	case KindScan:
+		f, err := ctx.cat.Lookup(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFileScan(f, nil, n.ReadAhead)
+
+	case KindPartitionedScan:
+		name := fmt.Sprintf("%s.%d", n.Table, ctx.partition)
+		f, err := ctx.cat.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFileScan(f, nil, n.ReadAhead)
+
+	case KindIndexScan:
+		ic, ok := ctx.cat.(IndexCatalog)
+		if !ok {
+			return nil, fmt.Errorf("plan: catalog has no index support (iscan %s)", n.IndexName)
+		}
+		tree, err := ic.LookupIndex(n.IndexName)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ctx.cat.Lookup(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		var lo, hi []byte
+		if n.LoKey != nil {
+			lo = btree.EncodeKey(record.Int(*n.LoKey))
+		}
+		if n.HiKey != nil {
+			hi = btree.EncodeKey(record.Int(*n.HiKey))
+		}
+		return core.NewIndexScan(tree, f, nil, lo, hi, true, true)
+
+	case KindFilter:
+		in, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFilterExpr(in, n.Pred, n.Mode)
+
+	case KindProject:
+		in, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return core.NewProjectExprs(ctx.env, in, n.Exprs, n.Names, n.Mode)
+
+	case KindSort:
+		in, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		spec := n.SortBy
+		if n.SortTerms != nil {
+			if spec, err = resolveSort(in.Schema(), n.SortTerms); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewSort(ctx.env, in, spec), nil
+
+	case KindDistinct:
+		in, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if n.Algo == AlgoSort {
+			return core.NewSortDistinct(ctx.env, in)
+		}
+		return core.NewHashDistinct(ctx.env, in)
+
+	case KindAggregate:
+		in, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		groupBy := n.GroupBy
+		if n.GroupTerms != nil {
+			if groupBy, err = resolveKey(in.Schema(), n.GroupTerms); err != nil {
+				return nil, err
+			}
+		}
+		aggs := n.Aggs
+		if n.AggTerms != nil {
+			aggs = append([]core.AggSpec(nil), n.Aggs...)
+			for i, t := range n.AggTerms {
+				if aggs[i].Func == core.AggCount {
+					continue
+				}
+				key, err := resolveKey(in.Schema(), []Term{t})
+				if err != nil {
+					return nil, err
+				}
+				aggs[i].Field = key[0]
+			}
+		}
+		if n.Algo == AlgoSort {
+			spec := make([]record.SortSpec, len(groupBy))
+			for i, f := range groupBy {
+				spec[i] = record.SortSpec{Field: f}
+			}
+			return core.NewSortAggregate(ctx.env, core.NewSort(ctx.env, in, spec), groupBy, aggs)
+		}
+		return core.NewHashAggregate(ctx.env, in, groupBy, aggs)
+
+	case KindMatch:
+		l, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(ctx, n.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		lk, rk := n.LeftKey, n.RightKey
+		if n.AllFieldKeys {
+			lk = allFieldsKey(l.Schema())
+			rk = allFieldsKey(r.Schema())
+		}
+		if n.LeftTerms != nil {
+			if lk, err = resolveKey(l.Schema(), n.LeftTerms); err != nil {
+				return nil, err
+			}
+		}
+		if n.RightTerms != nil {
+			if rk, err = resolveKey(r.Schema(), n.RightTerms); err != nil {
+				return nil, err
+			}
+		}
+		if n.Algo == AlgoSort {
+			return core.NewMergeMatchSorted(ctx.env, n.MatchOp, l, r, lk, rk)
+		}
+		return core.NewHashMatch(ctx.env, n.MatchOp, l, r, lk, rk)
+
+	case KindNestedLoops:
+		l, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(ctx, n.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		return core.NewNestedLoops(ctx.env, l, r, n.Pred, n.Mode)
+
+	case KindDivision:
+		l, err := build(ctx, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(ctx, n.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		quot, div, divis := n.QuotKey, n.DivKey, n.DivisKey
+		if n.QuotTerms != nil {
+			if quot, err = resolveKey(l.Schema(), n.QuotTerms); err != nil {
+				return nil, err
+			}
+		}
+		if n.DivTerms != nil {
+			if div, err = resolveKey(l.Schema(), n.DivTerms); err != nil {
+				return nil, err
+			}
+		}
+		if n.DivisTerms != nil {
+			if divis, err = resolveKey(r.Schema(), n.DivisTerms); err != nil {
+				return nil, err
+			}
+		}
+		if n.Algo == AlgoSort {
+			return core.NewSortDivision(ctx.env, l, r, quot, div, divis)
+		}
+		return core.NewHashDivision(ctx.env, l, r, quot, div, divis)
+
+	case KindExchange:
+		return buildExchange(ctx, n)
+
+	default:
+		return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)
+	}
+}
+
+// buildExchange instantiates an exchange node: the child subtree template
+// is built once per producer with the producer index in scope, so
+// partitioned scans resolve to their partition files.
+func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
+	o := n.X
+	if o == nil {
+		return nil, fmt.Errorf("plan: exchange node without options")
+	}
+	// Determine the schema by building a probe instance of the subtree.
+	probe, err := build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: 0}, n.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	schema := probe.Schema()
+
+	// Resolve parser-supplied field terms against the producer schema.
+	if n.HashTerms != nil {
+		if o.HashKeys, err = resolveKey(schema, n.HashTerms); err != nil {
+			return nil, err
+		}
+	}
+	if n.MergeTerms != nil {
+		if o.MergeSort, err = resolveSort(schema, n.MergeTerms); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg := core.ExchangeConfig{
+		Schema:      schema,
+		Producers:   o.Producers,
+		Consumers:   o.Consumers,
+		PacketSize:  o.PacketSize,
+		FlowControl: o.FlowControl,
+		Slack:       o.Slack,
+		Broadcast:   o.Broadcast,
+		Inline:      o.Inline,
+		KeepStreams: o.KeepStreams,
+		Fork:        o.Fork,
+		ForkCost:    o.ForkCost,
+		NewProducer: func(g int) (core.Iterator, error) {
+			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis}, n.Inputs[0])
+		},
+	}
+	if cfg.Consumers == 0 {
+		cfg.Consumers = 1
+	}
+	if cfg.Producers == 0 {
+		cfg.Producers = 1
+	}
+	switch {
+	case o.Broadcast:
+	case len(o.HashKeys) > 0:
+		cfg.NewPartition = func(int) expr.Partitioner {
+			return expr.HashPartition(schema, o.HashKeys, cfg.Consumers)
+		}
+	case o.UseRange:
+		cfg.NewPartition = func(int) expr.Partitioner {
+			return expr.RangePartition(schema, o.RangeCol, o.RangeCuts)
+		}
+	}
+	x, err := core.NewExchange(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.KeepStreams {
+		if cfg.Consumers != 1 {
+			return nil, fmt.Errorf("plan: merge exchange supports one consumer")
+		}
+		streams, err := x.ConsumerStreams(0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMergeSpec(streams, o.MergeSort)
+	}
+	if cfg.Consumers != 1 {
+		return nil, fmt.Errorf("plan: non-root exchange with %d consumers must be embedded by a parent exchange", cfg.Consumers)
+	}
+	return x.Consumer(0), nil
+}
+
+func allFieldsKey(s *record.Schema) record.Key {
+	key := make(record.Key, s.NumFields())
+	for i := range key {
+		key[i] = i
+	}
+	return key
+}
+
+// Run builds and executes the plan, returning decoded rows.
+func Run(env *core.Env, cat Catalog, n *Node) ([][]record.Value, error) {
+	it, err := Build(env, cat, n)
+	if err != nil {
+		return nil, err
+	}
+	return core.Collect(it)
+}

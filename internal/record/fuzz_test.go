@@ -1,0 +1,48 @@
+package record
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the record decoder: corrupt
+// records must produce errors, never panics or out-of-bounds reads.
+func FuzzDecode(f *testing.F) {
+	s := MustSchema(
+		Field{"i", TInt}, Field{"s", TString}, Field{"b", TBool}, Field{"y", TBytes},
+	)
+	good := s.MustEncode(Int(42), Str("hello"), Bool(true), Bytes([]byte{1, 2}))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 25))
+	trunc := append([]byte(nil), good[:10]...)
+	f.Add(trunc)
+	corrupt := append([]byte(nil), good...)
+	corrupt[8] = 0xFF // var-length end offset out of range
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := s.Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode without error.
+		if _, err := s.Encode(vals); err != nil {
+			t.Fatalf("decoded values do not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseSpec checks the schema-spec parser never panics and that
+// accepted specs round-trip.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("a:int,b:string")
+	f.Add("x:float")
+	f.Add(":,::")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		back, err := ParseSpec(s.Spec())
+		if err != nil || !back.Equal(s) {
+			t.Fatalf("spec %q does not round-trip", spec)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package record
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec renders the schema as a compact "name:type,name:type" string, the
+// inverse of ParseSpec. Used for catalog persistence and CLI flags.
+func (s *Schema) Spec() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.Name + ":" + f.Type.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses "name:type,name:type" into a schema. Types: int,
+// float, bool, string, bytes.
+func ParseSpec(spec string) (*Schema, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("record: empty schema spec")
+	}
+	var fields []Field
+	for _, part := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("record: bad field spec %q (want name:type)", part)
+		}
+		var t Type
+		switch strings.ToLower(strings.TrimSpace(typ)) {
+		case "int":
+			t = TInt
+		case "float":
+			t = TFloat
+		case "bool":
+			t = TBool
+		case "string":
+			t = TString
+		case "bytes":
+			t = TBytes
+		default:
+			return nil, fmt.Errorf("record: unknown type %q in spec", typ)
+		}
+		fields = append(fields, Field{Name: strings.TrimSpace(name), Type: t})
+	}
+	return NewSchema(fields...)
+}

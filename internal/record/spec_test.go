@@ -1,0 +1,39 @@
+package record
+
+import "testing"
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Field{"id", TInt}, Field{"score", TFloat}, Field{"name", TString},
+		Field{"ok", TBool}, Field{"raw", TBytes},
+	)
+	spec := s.Spec()
+	if spec != "id:int,score:float,name:string,ok:bool,raw:bytes" {
+		t.Fatalf("Spec = %q", spec)
+	}
+	back, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip changed schema: %v", back)
+	}
+}
+
+func TestParseSpecWhitespaceTolerant(t *testing.T) {
+	s, err := ParseSpec(" a : int , b : string ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFields() != 2 || s.Field(0).Name != "a" || s.Field(1).Type != TString {
+		t.Fatalf("parsed %v", s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "a:", "a:blob", ":int", "a:int,a:int", "a:int,,b:int"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package btree implements Volcano's B+-tree module on buffer-managed
+// pages: insertion, deletion, point lookup and range scans over the leaf
+// chain. Keys are opaque byte strings whose lexicographic order must match
+// the desired key order; EncodeKey produces such order-preserving
+// encodings from typed values.
+//
+// As in the paper (§4.5), Volcano provides no record-level concurrency
+// control: trees support one writer at a time (reads may proceed from any
+// number of goroutines when no writer is active).
+package btree
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/record"
+)
+
+// EncodeKey renders values into bytes whose lexicographic order equals the
+// value order (record.CompareValues), including across multi-field keys.
+//
+//   - int64:   big-endian with the sign bit flipped
+//   - float64: IEEE bits, negative values fully inverted, positives with
+//     the sign bit flipped (total order; NaN sorts below -Inf)
+//   - bool:    one byte
+//   - bytes:   0x00 escaped as 0x00 0x01, terminated by 0x00 0x00, so a
+//     prefix sorts before its extensions and field boundaries align
+func EncodeKey(vals ...record.Value) []byte {
+	out := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		out = appendKeyValue(out, v)
+	}
+	return out
+}
+
+func appendKeyValue(out []byte, v record.Value) []byte {
+	switch v.Kind {
+	case record.TInt:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.I)^(1<<63))
+		return append(out, b[:]...)
+	case record.TFloat:
+		bits := math.Float64bits(v.F)
+		if math.IsNaN(v.F) {
+			bits = 0 // below every encoded float
+		} else if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits ^= 1 << 63
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], bits)
+		return append(out, b[:]...)
+	case record.TBool:
+		if v.B {
+			return append(out, 1)
+		}
+		return append(out, 0)
+	default:
+		for _, c := range v.S {
+			if c == 0 {
+				out = append(out, 0, 1)
+			} else {
+				out = append(out, c)
+			}
+		}
+		return append(out, 0, 0)
+	}
+}
+
+// EncodeRecordKey extracts key fields from an encoded record and renders
+// them with EncodeKey.
+func EncodeRecordKey(s *record.Schema, data []byte, key record.Key) ([]byte, error) {
+	vals := make([]record.Value, len(key))
+	for i, f := range key {
+		v, err := s.Get(data, f)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return EncodeKey(vals...), nil
+}

@@ -1,0 +1,560 @@
+// Package buffer implements Volcano's shared buffer manager (paper, §3 and
+// §4.5). All goroutines ("processes") share one pool; records are passed
+// between operators as pinned buffer residents, with each pinned record
+// owned by exactly one operator at a time.
+//
+// Locking follows the paper's two-level scheme: one pool lock protects the
+// hash table and the LRU chain and is never held during I/O; each frame
+// (descriptor/cluster) has its own lock, acquired with an atomic try-lock.
+// If the try-lock fails, the whole operation — including the hash-table
+// lookup — is restarted, because the lock holder might be reading or
+// replacing the requested cluster. The restart scheme never holds one lock
+// while waiting for another, so deadlock is impossible (no hold-and-wait).
+//
+// A single-global-lock mode is provided for the ablation the paper
+// discusses ("we could have used one exclusive lock as in the memory
+// module [but] decreased concurrency would have removed most or all
+// advantages of parallel query processing").
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/record"
+	"repro/internal/storage/device"
+)
+
+// LockMode selects the pool's locking discipline.
+type LockMode uint8
+
+const (
+	// TwoLevel is the paper's pool-lock + per-descriptor try-lock scheme.
+	TwoLevel LockMode = iota
+	// Global holds the pool lock across everything, including I/O.
+	Global
+)
+
+// ErrBufferFull is returned when no frame can be evicted because every
+// frame is pinned.
+var ErrBufferFull = errors.New("buffer: all frames pinned")
+
+// Frame is a buffer descriptor plus its page image. Callers receive *Frame
+// from Fix/FixNew and must balance every fix with exactly one Unfix.
+type Frame struct {
+	mu   sync.Mutex // the descriptor ("cluster") lock
+	pid  record.PageID
+	data []byte
+
+	// The fields below are protected by the pool lock.
+	fixCount int
+	dirty    bool
+	valid    bool
+
+	// LRU chain links, protected by the pool lock. A frame is on the
+	// chain exactly when fixCount == 0.
+	prev, next *Frame
+	onChain    bool
+}
+
+// PageID returns the identity of the page currently held by the frame.
+// Valid only while the caller holds a fix on the frame.
+func (f *Frame) PageID() record.PageID { return f.pid }
+
+// Data returns the page image. Valid only while the caller holds a fix;
+// the slice must not be retained past Unfix.
+func (f *Frame) Data() []byte { return f.data }
+
+// Stats aggregates pool activity counters. All counters are cumulative.
+type Stats struct {
+	Fixes, Unfixes     int64
+	Hits, Misses       int64
+	Reads, Writes      int64
+	Evictions          int64
+	Restarts           int64
+	DaemonReads        int64
+	DaemonWrites       int64
+	ExtraPins          int64
+	CurrentlyFixedHint int64 // Fixes+ExtraPins-Unfixes; 0 when all pins balanced
+}
+
+// Pool is the shared buffer pool.
+type Pool struct {
+	reg  *device.Registry
+	mode LockMode
+
+	mu     sync.Mutex // the pool lock
+	table  map[record.PageID]*Frame
+	frames []*Frame
+	// lru is a circular doubly-linked list through prev/next with a
+	// sentinel head; head.next is least recently used.
+	lru Frame
+
+	fixes, unfixes, hits, misses  int64
+	reads, writes                 int64
+	evictions, restarts, xtraPins int64
+	daemonReads, daemonWrites     int64
+
+	daemon *daemon
+}
+
+// NewPool creates a pool of nframes frames over the given device registry.
+func NewPool(reg *device.Registry, nframes int, mode LockMode) *Pool {
+	p := &Pool{
+		reg:   reg,
+		mode:  mode,
+		table: make(map[record.PageID]*Frame, nframes),
+	}
+	p.lru.prev, p.lru.next = &p.lru, &p.lru
+	p.frames = make([]*Frame, nframes)
+	for i := range p.frames {
+		f := &Frame{data: make([]byte, device.PageSize)}
+		p.frames[i] = f
+		p.chainPush(f)
+	}
+	return p
+}
+
+// NumFrames returns the configured pool size.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Registry returns the device registry the pool reads and writes through.
+func (p *Pool) Registry() *device.Registry { return p.reg }
+
+// chainPush appends f at the MRU end. Pool lock must be held.
+func (p *Pool) chainPush(f *Frame) {
+	if f.onChain {
+		panic("buffer: frame already on LRU chain")
+	}
+	tail := p.lru.prev
+	tail.next = f
+	f.prev = tail
+	f.next = &p.lru
+	p.lru.prev = f
+	f.onChain = true
+}
+
+// chainRemove unlinks f from the LRU chain. Pool lock must be held.
+func (p *Pool) chainRemove(f *Frame) {
+	if !f.onChain {
+		panic("buffer: frame not on LRU chain")
+	}
+	f.prev.next = f.next
+	f.next.prev = f.prev
+	f.prev, f.next = nil, nil
+	f.onChain = false
+}
+
+// lruHead returns the least recently used unpinned frame, or nil.
+func (p *Pool) lruHead() *Frame {
+	if p.lru.next == &p.lru {
+		return nil
+	}
+	return p.lru.next
+}
+
+// lockFrame acquires f's descriptor lock under the current mode. In Global
+// mode the pool lock already serialises everything, so it is a no-op.
+// Returns false if the try-lock failed and the operation must restart.
+func (p *Pool) lockFrame(f *Frame) bool {
+	if p.mode == Global {
+		return true
+	}
+	return f.mu.TryLock()
+}
+
+func (p *Pool) unlockFrame(f *Frame) {
+	if p.mode == Global {
+		return
+	}
+	f.mu.Unlock()
+}
+
+// restart backs off before re-running a fix attempt whose descriptor
+// try-lock failed ("the operation [is] delayed and restarted", §4.5).
+func (p *Pool) restart() {
+	atomic.AddInt64(&p.restarts, 1)
+	runtime.Gosched()
+}
+
+// Fix pins the page in the buffer, reading it from its device on a miss,
+// and returns its frame. Every successful Fix must be balanced by Unfix.
+func (p *Pool) Fix(pid record.PageID) (*Frame, error) {
+	return p.fix(pid, false)
+}
+
+// FixNew allocates a fresh page on the given device, pins it with zeroed
+// contents, and returns the frame and new page identity. The page is
+// marked dirty so it reaches the device even if never written again.
+func (p *Pool) FixNew(dev record.DeviceID) (*Frame, record.PageID, error) {
+	d, err := p.reg.Get(dev)
+	if err != nil {
+		return nil, record.NilPage, err
+	}
+	page, err := d.AllocPage()
+	if err != nil {
+		return nil, record.NilPage, err
+	}
+	pid := record.PageID{Dev: dev, Page: page}
+	f, err := p.fix(pid, true)
+	if err != nil {
+		_ = d.FreePage(page)
+		return nil, record.NilPage, err
+	}
+	return f, pid, nil
+}
+
+func (p *Pool) fix(pid record.PageID, fresh bool) (*Frame, error) {
+	if pid.IsNil() {
+		return nil, fmt.Errorf("buffer: fix of nil page")
+	}
+	spins := 0
+	for {
+		f, err := p.fixOnce(pid, fresh)
+		if err == nil {
+			return f, nil
+		}
+		if errors.Is(err, errRetry) {
+			p.restart()
+			continue
+		}
+		if errors.Is(err, ErrBufferFull) && spins < 64 {
+			// Another operator may unpin shortly (e.g. a consumer draining
+			// exchange packets); give it a chance before failing.
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		return nil, err
+	}
+}
+
+// errRetry signals that a descriptor try-lock failed and the fix must be
+// restarted from the hash-table lookup.
+var errRetry = errors.New("buffer: retry")
+
+func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.table[pid]; ok {
+		// Found in the buffer: atomic test-and-lock on the descriptor; on
+		// failure release the pool lock and restart (§4.5).
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			return nil, errRetry
+		}
+		if !f.valid {
+			// The frame was abandoned by a failed read; treat as miss by
+			// falling through to a restart after clearing it.
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			return nil, errRetry
+		}
+		f.fixCount++
+		if f.fixCount == 1 {
+			p.chainRemove(f)
+		}
+		p.fixes++
+		p.hits++
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return f, nil
+	}
+
+	// Miss: find a victim.
+	victim := p.lruHead()
+	if victim == nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d frames)", ErrBufferFull, len(p.frames))
+	}
+	if !p.lockFrame(victim) {
+		p.mu.Unlock()
+		return nil, errRetry
+	}
+	p.chainRemove(victim)
+	oldPid, oldDirty, oldValid := victim.pid, victim.dirty, victim.valid
+	if oldValid {
+		delete(p.table, oldPid)
+		p.evictions++
+	}
+	victim.pid = pid
+	victim.fixCount = 1
+	victim.valid = false
+	victim.dirty = false
+	p.table[pid] = victim
+	p.fixes++
+	p.misses++
+	if p.mode != Global {
+		// Release the pool lock before I/O; the descriptor lock protects
+		// the frame during the transfer.
+		p.mu.Unlock()
+	}
+
+	err := p.replace(victim, oldPid, oldDirty && oldValid, fresh)
+
+	if p.mode != Global {
+		p.mu.Lock()
+	}
+	if err != nil {
+		// Abandon the frame: unmap it and return it to the LRU chain.
+		delete(p.table, pid)
+		victim.fixCount = 0
+		victim.valid = false
+		p.chainPush(victim)
+		p.unlockFrame(victim)
+		p.mu.Unlock()
+		return nil, err
+	}
+	victim.valid = true
+	if fresh {
+		victim.dirty = true
+	}
+	p.unlockFrame(victim)
+	p.mu.Unlock()
+	return victim, nil
+}
+
+// replace performs the write-back of the old page and the read of the new
+// one while the caller holds the descriptor lock.
+func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) error {
+	if writeBack {
+		d, err := p.reg.Get(oldPid.Dev)
+		if err != nil {
+			return fmt.Errorf("buffer: write-back: %w", err)
+		}
+		if err := d.WritePage(oldPid.Page, f.data); err != nil {
+			return fmt.Errorf("buffer: write-back %s: %w", oldPid, err)
+		}
+		atomic.AddInt64(&p.writes, 1)
+	}
+	if fresh {
+		for i := range f.data {
+			f.data[i] = 0
+		}
+		return nil
+	}
+	d, err := p.reg.Get(f.pid.Dev)
+	if err != nil {
+		return err
+	}
+	if err := d.ReadPage(f.pid.Page, f.data); err != nil {
+		return fmt.Errorf("buffer: read %s: %w", f.pid, err)
+	}
+	atomic.AddInt64(&p.reads, 1)
+	return nil
+}
+
+// Unfix releases one pin on the frame, optionally marking the page dirty.
+// When the fix count reaches zero the frame joins the MRU end of the LRU
+// chain and becomes replaceable.
+func (p *Pool) Unfix(f *Frame, dirty bool) {
+	for {
+		p.mu.Lock()
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			p.restart()
+			continue
+		}
+		if f.fixCount <= 0 {
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			panic(fmt.Sprintf("buffer: unfix of unpinned page %s", f.pid))
+		}
+		f.dirty = f.dirty || dirty
+		f.fixCount--
+		p.unfixes++
+		if f.fixCount == 0 {
+			p.chainPush(f)
+		}
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return
+	}
+}
+
+// Pin adds an extra pin to an already-fixed frame. The exchange operator
+// uses this for its broadcast variant: "it is not necessary to copy the
+// records ...; it is sufficient to pin them such that each consumer can
+// unpin them as if it were the only process using them" (§4.4).
+// The caller must already hold at least one fix.
+func (p *Pool) Pin(f *Frame, n int) {
+	for {
+		p.mu.Lock()
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			p.restart()
+			continue
+		}
+		if f.fixCount <= 0 {
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			panic(fmt.Sprintf("buffer: extra pin on unpinned page %s", f.pid))
+		}
+		f.fixCount += n
+		p.xtraPins += int64(n)
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return
+	}
+}
+
+// FlushPage writes the page to its device if it is resident and dirty.
+// The page stays in the buffer. Pinned pages are flushed as-is.
+func (p *Pool) FlushPage(pid record.PageID) error {
+	for {
+		p.mu.Lock()
+		f, ok := p.table[pid]
+		if !ok || !f.valid {
+			p.mu.Unlock()
+			return nil
+		}
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			p.restart()
+			continue
+		}
+		if !f.dirty {
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			return nil
+		}
+		wasFree := f.fixCount == 0
+		f.fixCount++ // hold the frame across the I/O
+		if wasFree {
+			p.chainRemove(f)
+		}
+		if p.mode != Global {
+			p.mu.Unlock()
+		}
+		d, err := p.reg.Get(pid.Dev)
+		if err == nil {
+			err = d.WritePage(pid.Page, f.data)
+		}
+		if p.mode != Global {
+			p.mu.Lock()
+		}
+		if err == nil {
+			f.dirty = false
+			atomic.AddInt64(&p.writes, 1)
+		}
+		f.fixCount--
+		if f.fixCount == 0 {
+			p.chainPush(f)
+		}
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return err
+	}
+}
+
+// Discard drops the page from the buffer without writing it back, used
+// when a virtual file's pages are deleted. The page must not be pinned.
+func (p *Pool) Discard(pid record.PageID) error {
+	for {
+		p.mu.Lock()
+		f, ok := p.table[pid]
+		if !ok {
+			p.mu.Unlock()
+			return nil
+		}
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			p.restart()
+			continue
+		}
+		if f.fixCount > 0 {
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			return fmt.Errorf("buffer: discard of pinned page %s", pid)
+		}
+		delete(p.table, pid)
+		f.valid = false
+		f.dirty = false
+		f.pid = record.PageID{}
+		// Move to the LRU head so the frame is reused first.
+		p.chainRemove(f)
+		head := p.lru.next
+		f.next = head
+		f.prev = &p.lru
+		head.prev = f
+		p.lru.next = f
+		f.onChain = true
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return nil
+	}
+}
+
+// FlushAll writes every dirty resident page of the given device (or of all
+// devices if dev is 0) back to storage.
+func (p *Pool) FlushAll(dev record.DeviceID) error {
+	p.mu.Lock()
+	var pids []record.PageID
+	for pid, f := range p.table {
+		if f.valid && f.dirty && (dev == 0 || pid.Dev == dev) {
+			pids = append(pids, pid)
+		}
+	}
+	p.mu.Unlock()
+	for _, pid := range pids {
+		if err := p.FlushPage(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resident reports whether the page is currently in the buffer (for tests).
+func (p *Pool) Resident(pid record.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.table[pid]
+	return ok && f.valid
+}
+
+// FixCount returns the current pin count of a resident page (for tests).
+func (p *Pool) FixCount(pid record.PageID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.table[pid]; ok {
+		return f.fixCount
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{
+		Fixes:        p.fixes,
+		Unfixes:      p.unfixes,
+		Hits:         p.hits,
+		Misses:       p.misses,
+		Reads:        atomic.LoadInt64(&p.reads),
+		Writes:       atomic.LoadInt64(&p.writes),
+		Evictions:    p.evictions,
+		Restarts:     atomic.LoadInt64(&p.restarts),
+		DaemonReads:  atomic.LoadInt64(&p.daemonReads),
+		DaemonWrites: atomic.LoadInt64(&p.daemonWrites),
+		ExtraPins:    p.xtraPins,
+	}
+	s.CurrentlyFixedHint = s.Fixes + s.ExtraPins - s.Unfixes
+	return s
+}
+
+// PinnedFrames returns how many frames are currently pinned (for tests and
+// leak assertions).
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.fixCount > 0 {
+			n++
+		}
+	}
+	return n
+}

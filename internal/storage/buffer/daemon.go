@@ -1,0 +1,123 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/record"
+)
+
+// The read-ahead/write-behind daemon (paper, §4.5): one or more daemon
+// goroutines accept work requests on a queue. FLUSH writes a cluster if it
+// is in the buffer and dirty; READAHEAD reads a cluster and inserts it at
+// the top of the LRU chain, whence it ages out normally; QUIT terminates a
+// daemon.
+
+type daemonOp uint8
+
+const (
+	opFlush daemonOp = iota
+	opReadAhead
+	opQuit
+)
+
+type daemonReq struct {
+	op  daemonOp
+	pid record.PageID
+}
+
+type daemon struct {
+	queue chan daemonReq
+	wg    sync.WaitGroup
+	n     int
+}
+
+// StartDaemons forks n read-ahead/write-behind daemons serving a shared
+// work queue. It is an error to start daemons twice without stopping.
+func (p *Pool) StartDaemons(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("buffer: need at least one daemon, got %d", n)
+	}
+	p.mu.Lock()
+	if p.daemon != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("buffer: daemons already running")
+	}
+	d := &daemon{queue: make(chan daemonReq, 256), n: n}
+	p.daemon = d
+	p.mu.Unlock()
+	d.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.daemonLoop(d)
+	}
+	return nil
+}
+
+// StopDaemons sends one QUIT per daemon and waits for them to exit.
+func (p *Pool) StopDaemons() {
+	p.mu.Lock()
+	d := p.daemon
+	p.daemon = nil
+	p.mu.Unlock()
+	if d == nil {
+		return
+	}
+	for i := 0; i < d.n; i++ {
+		d.queue <- daemonReq{op: opQuit}
+	}
+	d.wg.Wait()
+}
+
+// RequestFlush enqueues an asynchronous FLUSH of the page. If no daemon is
+// running the flush is performed synchronously.
+func (p *Pool) RequestFlush(pid record.PageID) {
+	p.mu.Lock()
+	d := p.daemon
+	p.mu.Unlock()
+	if d == nil {
+		_ = p.FlushPage(pid)
+		return
+	}
+	d.queue <- daemonReq{op: opFlush, pid: pid}
+}
+
+// RequestReadAhead enqueues an asynchronous READAHEAD of the page. If no
+// daemon is running the request is ignored (read-ahead is a hint).
+func (p *Pool) RequestReadAhead(pid record.PageID) {
+	p.mu.Lock()
+	d := p.daemon
+	p.mu.Unlock()
+	if d == nil {
+		return
+	}
+	select {
+	case d.queue <- daemonReq{op: opReadAhead, pid: pid}:
+	default:
+		// Queue full: dropping a read-ahead hint is always safe.
+	}
+}
+
+func (p *Pool) daemonLoop(d *daemon) {
+	defer d.wg.Done()
+	for req := range d.queue {
+		switch req.op {
+		case opQuit:
+			return
+		case opFlush:
+			if err := p.FlushPage(req.pid); err == nil {
+				atomic.AddInt64(&p.daemonWrites, 1)
+			}
+		case opReadAhead:
+			// Fix + immediate clean unfix: the cluster lands in the buffer
+			// and joins the replaceable chain. "The cluster remains in the
+			// buffer using the normal aging process."
+			f, err := p.Fix(req.pid)
+			if err != nil {
+				continue
+			}
+			atomic.AddInt64(&p.daemonReads, 1)
+			p.Unfix(f, false)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package file
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/device"
+)
+
+func env(t *testing.T, frames int) (*buffer.Pool, *Volume, *Volume) {
+	t.Helper()
+	reg := device.NewRegistry()
+	diskID := reg.NextID()
+	d, err := device.NewDisk(diskID, filepath.Join(t.TempDir(), "disk"), 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Mount(d); err != nil {
+		t.Fatal(err)
+	}
+	memID := reg.NextID()
+	if err := reg.Mount(device.NewMem(memID)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.CloseAll() })
+	pool := buffer.NewPool(reg, frames, buffer.TwoLevel)
+	return pool, NewVolume(pool, diskID), NewVolume(pool, memID)
+}
+
+func TestCreateOpenDelete(t *testing.T) {
+	_, vol, _ := env(t, 16)
+	f, err := vol.Create("emp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "emp" || f.Pages() != 1 || f.Records() != 0 {
+		t.Fatalf("fresh file: pages=%d records=%d", f.Pages(), f.Records())
+	}
+	if _, err := vol.Create("emp", nil); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if _, err := vol.Open("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Open("none"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	if got := vol.List(); len(got) != 1 || got[0] != "emp" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := vol.Delete("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Delete("emp"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if _, err := vol.Open("emp"); err == nil {
+		t.Fatal("open after delete succeeded")
+	}
+}
+
+func TestInsertFetch(t *testing.T) {
+	_, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	rid, err := f.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Fetch(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != "hello" {
+		t.Fatalf("Fetch = %q", r.Data)
+	}
+	r.Unfix()
+	if f.Records() != 1 {
+		t.Fatalf("Records = %d", f.Records())
+	}
+	// Fetch with wrong device errors.
+	bad := rid
+	bad.Dev = 99
+	if _, err := f.Fetch(bad); err == nil {
+		t.Fatal("cross-device fetch succeeded")
+	}
+	// Fetch of nonexistent slot errors.
+	bad = rid
+	bad.Slot = 42
+	if _, err := f.Fetch(bad); err == nil {
+		t.Fatal("fetch of bogus slot succeeded")
+	}
+}
+
+func TestInsertSpillsAcrossPages(t *testing.T) {
+	pool, vol, _ := env(t, 64)
+	f, _ := vol.Create("big", nil)
+	data := make([]byte, 1000)
+	const n = 50 // 50 * 1004 bytes >> one page
+	rids := make([]record.RID, n)
+	for i := 0; i < n; i++ {
+		data[0] = byte(i)
+		rid, err := f.Insert(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if f.Pages() < 2 {
+		t.Fatalf("Pages = %d, want several", f.Pages())
+	}
+	for i, rid := range rids {
+		r, err := f.Fetch(rid)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if r.Data[0] != byte(i) || len(r.Data) != 1000 {
+			t.Fatalf("record %d corrupt", i)
+		}
+		r.Unfix()
+	}
+	if pool.Stats().CurrentlyFixedHint != 0 {
+		t.Fatal("pin leak after insert/fetch")
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	_, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	if _, err := f.Insert(make([]byte, MaxRecordLen+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if _, err := f.Insert(make([]byte, MaxRecordLen)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}
+
+func TestDeleteRecord(t *testing.T) {
+	_, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	r1, _ := f.Insert([]byte("a"))
+	r2, _ := f.Insert([]byte("b"))
+	if err := f.DeleteRecord(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DeleteRecord(r1); err == nil {
+		t.Fatal("double record delete succeeded")
+	}
+	if _, err := f.Fetch(r1); err == nil {
+		t.Fatal("fetch of deleted record succeeded")
+	}
+	// r2 unaffected (RID stability).
+	r, err := f.Fetch(r2)
+	if err != nil || string(r.Data) != "b" {
+		t.Fatalf("r2 damaged: %v %q", err, r.Data)
+	}
+	r.Unfix()
+	if f.Records() != 1 {
+		t.Fatalf("Records = %d, want 1", f.Records())
+	}
+}
+
+func TestScan(t *testing.T) {
+	pool, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := f.Insert([]byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.NewScan(false)
+	count := 0
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if want := fmt.Sprintf("rec-%04d", count); string(r.Data) != want {
+			t.Fatalf("record %d = %q, want %q (storage order)", count, r.Data, want)
+		}
+		count++
+		r.Unfix()
+	}
+	if count != n {
+		t.Fatalf("scanned %d records, want %d", count, n)
+	}
+	s.Close()
+	if pool.Stats().CurrentlyFixedHint != 0 {
+		t.Fatal("pin leak after scan")
+	}
+	// Next after exhaustion keeps returning !ok.
+	if _, ok, _ := s.Next(); ok {
+		t.Fatal("Next after end returned a record")
+	}
+	// Rewind re-reads everything.
+	s.Rewind()
+	count = 0
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		r.Unfix()
+	}
+	if count != n {
+		t.Fatalf("rewound scan found %d, want %d", count, n)
+	}
+}
+
+func TestScanSkipsDeleted(t *testing.T) {
+	_, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	var rids []record.RID
+	for i := 0; i < 10; i++ {
+		rid, _ := f.Insert([]byte{byte(i)})
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := f.DeleteRecord(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.NewScan(false)
+	var got []byte
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, r.Data[0])
+		r.Unfix()
+	}
+	if string(got) != string([]byte{1, 3, 5, 7, 9}) {
+		t.Fatalf("scan after deletes = %v", got)
+	}
+}
+
+func TestScanAbortMidwayReleasesPins(t *testing.T) {
+	pool, vol, _ := env(t, 16)
+	f, _ := vol.Create("t", nil)
+	for i := 0; i < 100; i++ {
+		f.Insert(make([]byte, 100))
+	}
+	s := f.NewScan(false)
+	r, ok, err := s.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	r.Unfix()
+	s.Close()
+	if pool.Stats().CurrentlyFixedHint != 0 {
+		t.Fatal("pin leak after aborted scan")
+	}
+}
+
+func TestScanWithReadAheadDaemon(t *testing.T) {
+	pool, vol, _ := env(t, 64)
+	if err := pool.StartDaemons(1); err != nil {
+		t.Fatal(err)
+	}
+	defer pool.StopDaemons()
+	f, _ := vol.Create("t", nil)
+	for i := 0; i < 200; i++ {
+		f.Insert(make([]byte, 500))
+	}
+	s := f.NewScan(true)
+	count := 0
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		r.Unfix()
+	}
+	if count != 200 {
+		t.Fatalf("scanned %d, want 200", count)
+	}
+}
+
+func TestVirtualFileOnMemDevice(t *testing.T) {
+	pool, _, vmem := env(t, 8)
+	f, err := vmem.Create("tmp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write far more data than the 8-frame pool can hold: eviction to the
+	// virtual device must preserve it.
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := f.Insert([]byte(fmt.Sprintf("intermediate-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.NewScan(false)
+	count := 0
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if want := fmt.Sprintf("intermediate-%03d", count); string(r.Data) != want {
+			t.Fatalf("virtual record %d = %q", count, r.Data)
+		}
+		count++
+		r.Unfix()
+	}
+	if count != n {
+		t.Fatalf("scanned %d, want %d", count, n)
+	}
+	// Deleting the virtual file releases its device pages.
+	reg := pool.Registry()
+	d, _ := reg.Get(vmem.Device())
+	if d.Allocated() == 0 {
+		t.Fatal("expected allocated virtual pages before delete")
+	}
+	if err := vmem.Delete("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated() != 0 {
+		t.Fatalf("virtual device still holds %d pages after delete", d.Allocated())
+	}
+}
+
+func TestInsertPinnedOwnership(t *testing.T) {
+	pool, _, vmem := env(t, 8)
+	f, _ := vmem.Create("tmp", nil)
+	r, err := f.InsertPinned([]byte("owned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Valid() {
+		t.Fatal("InsertPinned returned invalid record")
+	}
+	if pool.FixCount(r.RID.PageID) != 1 {
+		t.Fatalf("FixCount = %d, want 1", pool.FixCount(r.RID.PageID))
+	}
+	// Share two extra pins, then release all three.
+	r.Share(2)
+	if pool.FixCount(r.RID.PageID) != 3 {
+		t.Fatalf("FixCount = %d, want 3", pool.FixCount(r.RID.PageID))
+	}
+	r.Unfix()
+	r2 := r.WithoutDirty()
+	r2.Unfix()
+	r2.Unfix()
+	if pool.Stats().CurrentlyFixedHint != 0 {
+		t.Fatal("pin imbalance")
+	}
+	// Zero-value Record is safe to Unfix and Share.
+	var zero Record
+	if zero.Valid() {
+		t.Fatal("zero Record claims validity")
+	}
+	zero.Unfix()
+	zero.Share(1)
+}
+
+func TestSchemaInVTOC(t *testing.T) {
+	_, vol, _ := env(t, 8)
+	s := record.MustSchema(record.Field{Name: "x", Type: record.TInt})
+	f, _ := vol.Create("t", s)
+	g, _ := vol.Open("t")
+	if !g.Schema().Equal(s) || !f.Schema().Equal(s) {
+		t.Fatal("schema not preserved in VTOC")
+	}
+}
+
+// Property: any sequence of variable-size inserts scans back in order.
+func TestQuickInsertScanRoundTrip(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		_, vol, _ := env(t, 64)
+		f, _ := vol.Create("q", nil)
+		var want [][]byte
+		for i, sz := range sizes {
+			n := int(sz) % 2000
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			if _, err := f.Insert(data); err != nil {
+				return false
+			}
+			want = append(want, data)
+		}
+		s := f.NewScan(false)
+		defer s.Close()
+		for _, w := range want {
+			r, ok, err := s.Next()
+			if err != nil || !ok {
+				return false
+			}
+			if string(r.Data) != string(w) {
+				r.Unfix()
+				return false
+			}
+			r.Unfix()
+		}
+		_, ok, _ := s.Next()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package file
+
+import (
+	"repro/internal/record"
+	"repro/internal/storage/buffer"
+)
+
+// Record is Volcano's NEXT_RECORD structure (paper, §3): a record
+// identifier plus the record's address in the buffer pool. The record is
+// pinned in the buffer and "owned by exactly one operator at any point in
+// time"; the owner may hold on to it, unfix it, or pass it on.
+//
+// Record is a value type; passing it transfers ownership of one pin.
+type Record struct {
+	RID  record.RID
+	Data []byte
+
+	frame *buffer.Frame
+	pool  *buffer.Pool
+	dirty bool
+}
+
+// Valid reports whether the record holds a pinned buffer resident.
+func (r Record) Valid() bool { return r.frame != nil }
+
+// Unfix releases the owner's pin on the record's page. The Data slice must
+// not be used afterwards.
+func (r Record) Unfix() {
+	if r.frame != nil {
+		r.pool.Unfix(r.frame, r.dirty)
+	}
+}
+
+// Share adds n extra pins to the record's page so that n additional owners
+// can each Unfix independently — the mechanism behind exchange's broadcast
+// variant (paper, §4.4): records are not copied, only pinned multiple
+// times in the shared buffer.
+func (r Record) Share(n int) {
+	if r.frame != nil && n > 0 {
+		r.pool.Pin(r.frame, n)
+	}
+}
+
+// WithoutDirty returns a copy of the record whose eventual Unfix will not
+// mark the page dirty (used when ownership passes to a reader).
+func (r Record) WithoutDirty() Record {
+	r.dirty = false
+	return r
+}
+
+// MakeRecord assembles a Record from its parts; used by storage-layer
+// iterators (B+-tree scans) that pin pages themselves.
+func MakeRecord(rid record.RID, data []byte, frame *buffer.Frame, pool *buffer.Pool) Record {
+	return Record{RID: rid, Data: data, frame: frame, pool: pool}
+}
