@@ -1,10 +1,39 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// captureStderr runs f with os.Stderr redirected to a pipe and returns
+// everything written to it. The analyze report goes to stderr so the
+// result rows on stdout stay machine-readable.
+func captureStderr(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	os.Stderr = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", ferr, out)
+	}
+	return out
+}
 
 func writeCSV(t *testing.T, name, content string) string {
 	t.Helper()
@@ -35,11 +64,33 @@ func TestRunExplainOnly(t *testing.T) {
 
 func TestRunAnalyze(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
-	err := run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0,
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, nil)
-	if err != nil {
-		t.Fatal(err)
+	out := captureStderr(t, func() error {
+		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0,
+			[]string{"emp=id:int,dept:int,salary:float,name:string"},
+			[]string{"emp=" + csv}, nil)
+	})
+	// Per-operator lines carry row counts, Next calls, and wall times.
+	for _, want := range []string{"scan emp", "rows=4", "calls=", "next=", "buffer: fixes=", "pins balanced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAnalyzeParallelExchangeCounters(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	out := captureStderr(t, func() error {
+		return run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+			512, false, true, 0, "", 0,
+			[]string{"emp=id:int,dept:int,salary:float,name:string"},
+			[]string{"emp=" + csv}, []string{"emp:2"})
+	})
+	// The exchange node reports port activity: packets, records crossed,
+	// producer forks, flow-control stall and consumer wait.
+	for _, want := range []string{"exchange", "packets=", "records=4", "forks=2", "stall=", "wait=", "rows=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out)
+		}
 	}
 }
 

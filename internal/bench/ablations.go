@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -18,6 +19,9 @@ type Line struct {
 	Name    string
 	Elapsed time.Duration
 	Extra   string
+	// Detail is an optional multi-line per-operator breakdown (from an
+	// analyzed run), printed indented below the table.
+	Detail string
 }
 
 // Ablation is a titled group of measured lines.
@@ -26,7 +30,8 @@ type Ablation struct {
 	Lines []Line
 }
 
-// Print renders the ablation as an aligned table.
+// Print renders the ablation as an aligned table, followed by any
+// per-line breakdown details.
 func (a *Ablation) Print(w io.Writer) {
 	fmt.Fprintln(w, a.Title)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -34,9 +39,20 @@ func (a *Ablation) Print(w io.Writer) {
 		fmt.Fprintf(tw, "  %s\t%v\t%s\n", l.Name, l.Elapsed.Round(time.Microsecond), l.Extra)
 	}
 	tw.Flush()
+	for _, l := range a.Lines {
+		if l.Detail == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %s:\n", l.Name)
+		for _, line := range strings.Split(l.Detail, "\n") {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
 }
 
 // AblationFlowControl (A1): flow control off vs on at several slacks.
+// Runs are instrumented: the per-stage breakdown shows where producers
+// stall on flow-control tokens and where the consumer waits for data.
 func AblationFlowControl(records int) (*Ablation, error) {
 	a := &Ablation{Title: "A1 — flow control and slack (3-stage pipeline)"}
 	runs := []struct {
@@ -53,11 +69,12 @@ func AblationFlowControl(records int) (*Ablation, error) {
 		res, err := RunPass(PassConfig{
 			Records: records, Stages: 3,
 			FlowControl: r.fc, Slack: r.slack,
+			Analyze: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("a1 %s: %w", r.name, err)
 		}
-		a.Lines = append(a.Lines, Line{Name: r.name, Elapsed: res.Elapsed})
+		a.Lines = append(a.Lines, Line{Name: r.name, Elapsed: res.Elapsed, Detail: res.Breakdown})
 	}
 	return a, nil
 }

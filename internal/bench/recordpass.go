@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage/buffer"
 )
 
 // The record-passing program of §5: create records filled with four
@@ -25,6 +27,11 @@ type PassConfig struct {
 	// Groups is the producer-group size at each boundary for the
 	// Figure-2 topology; len(Groups) == Stages. nil = all size 1.
 	Groups []int
+	// Analyze instruments the run: the sink is wrapped in a
+	// core.Instrumented and every exchange hub's port counters are
+	// reported in PassResult.Breakdown. Off by default so the measured
+	// path stays untouched.
+	Analyze bool
 }
 
 // PassResult reports one run.
@@ -36,6 +43,8 @@ type PassResult struct {
 	// PerRecordPerExchange is the derived overhead (only meaningful when
 	// compared against a baseline run, as in the paper).
 	PerRecord time.Duration
+	// Breakdown is the per-operator/per-port report (Analyze only).
+	Breakdown string
 }
 
 // RunPass executes the record-passing program under the given config.
@@ -50,10 +59,17 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 	}
 	defer w.Close()
 
-	root, err := buildPassTree(w, cfg)
+	var hubs []*core.Exchange
+	root, err := buildPassTree(w, cfg, &hubs)
 	if err != nil {
 		return PassResult{}, err
 	}
+	var sink *core.Instrumented
+	if cfg.Analyze {
+		sink = core.Instrument(root, "sink")
+		root = sink
+	}
+	poolBase := w.Pool.Stats()
 
 	start := time.Now()
 	n, err := core.Drain(root)
@@ -74,11 +90,32 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 		Exchanges: cfg.Stages,
 		PerRecord: elapsed / time.Duration(n),
 	}
+	if cfg.Analyze {
+		res.Breakdown = formatBreakdown(sink, hubs, w.Pool.Stats().Sub(poolBase))
+	}
 	return res, nil
 }
 
-// buildPassTree assembles generators and exchange stages per the config.
-func buildPassTree(w *World, cfg PassConfig) (core.Iterator, error) {
+// formatBreakdown renders the instrumented run: sink counters, each
+// exchange boundary's port activity (stage 1 is closest to the source),
+// and the buffer pool's totals.
+func formatBreakdown(sink *core.Instrumented, hubs []*core.Exchange, pool buffer.Stats) string {
+	var sb []string
+	st := sink.Stats().Snapshot()
+	sb = append(sb, fmt.Sprintf("sink: %s", st))
+	for i, x := range hubs {
+		xs := x.Stats()
+		sb = append(sb, fmt.Sprintf("exchange stage %d: packets=%d records=%d forks=%d stall=%v wait=%v",
+			i+1, xs.Packets, xs.Records, xs.Forks,
+			xs.ProducerStall.Round(time.Microsecond), xs.ConsumerWait.Round(time.Microsecond)))
+	}
+	sb = append(sb, fmt.Sprintf("buffer: fixes=%d hits=%d misses=%d", pool.Fixes, pool.Hits, pool.Misses))
+	return strings.Join(sb, "\n")
+}
+
+// buildPassTree assembles generators and exchange stages per the config,
+// appending every exchange hub it creates to *hubs (source side first).
+func buildPassTree(w *World, cfg PassConfig, hubs *[]*core.Exchange) (core.Iterator, error) {
 	groups := cfg.Groups
 	if groups == nil {
 		groups = make([]int, cfg.Stages)
@@ -130,6 +167,7 @@ func buildPassTree(w *World, cfg PassConfig) (core.Iterator, error) {
 		if err != nil {
 			return func(int) (core.Iterator, error) { return nil, err }
 		}
+		*hubs = append(*hubs, x)
 		return func(g int) (core.Iterator, error) {
 			return x.Consumer(g), nil
 		}

@@ -14,8 +14,14 @@ import (
 //   - Close before Open fails
 //   - double Open fails
 //   - Open → drain → Close works and leaks no pins
+//   - double Close (after a successful Close) fails
 //   - Open → Close without draining works and leaks no pins
 //   - Schema() is non-nil and stable
+//
+// Every case runs twice: on the bare operator and wrapped in
+// core.Instrument, proving the instrumentation adapter is protocol-
+// transparent (errors, EOS and pin ownership pass through unchanged)
+// and that its counters reflect exactly the calls made.
 //
 // Anonymous inputs only work if every operator honours the same protocol;
 // this is the uniformity §3 of the paper is about.
@@ -102,71 +108,127 @@ func TestIteratorProtocolConformance(t *testing.T) {
 
 	for _, m := range makers {
 		m := m
-		t.Run(m.name, func(t *testing.T) {
-			// Protocol violations.
-			env := newTestEnv(t, 1024)
-			it, err := m.build(env)
-			if err != nil {
-				t.Fatal(err)
+		for _, wrapped := range []bool{false, true} {
+			wrapped := wrapped
+			name := m.name
+			if wrapped {
+				name += "/instrumented"
 			}
-			if it.Schema() == nil {
-				t.Fatal("nil schema")
+			// build constructs the iterator under test, optionally wrapped;
+			// the second return is non-nil only in the instrumented variant.
+			build := func(env *testEnv) (Iterator, *Instrumented, error) {
+				it, err := m.build(env)
+				if err != nil || !wrapped {
+					return it, nil, err
+				}
+				ins := Instrument(it, m.name)
+				return ins, ins, nil
 			}
-			if _, _, err := it.Next(); err == nil {
-				t.Error("next before open succeeded")
-			}
-			if err := it.Close(); err == nil {
-				t.Error("close before open succeeded")
-			}
-			if err := it.Open(); err != nil {
-				t.Fatal(err)
-			}
-			if err := it.Open(); err == nil {
-				t.Error("double open succeeded")
-			}
-			schema := it.Schema()
-			// Full drain.
-			for {
-				r, ok, err := it.Next()
+			t.Run(name, func(t *testing.T) {
+				// Protocol violations.
+				env := newTestEnv(t, 1024)
+				it, ins, err := build(env)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !ok {
-					break
+				if it.Schema() == nil {
+					t.Fatal("nil schema")
 				}
-				if len(r.Data) < schema.FixedLen() {
-					t.Fatal("record shorter than schema's fixed area")
+				if _, _, err := it.Next(); err == nil {
+					t.Error("next before open succeeded")
 				}
-				r.Unfix()
-			}
-			if err := it.Close(); err != nil {
-				t.Fatal(err)
-			}
-			env.checkNoPinLeak(t)
+				if err := it.Close(); err == nil {
+					t.Error("close before open succeeded")
+				}
+				if err := it.Open(); err != nil {
+					t.Fatal(err)
+				}
+				if err := it.Open(); err == nil {
+					t.Error("double open succeeded")
+				}
+				schema := it.Schema()
+				// Full drain.
+				rows := int64(0)
+				for {
+					r, ok, err := it.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					if len(r.Data) < schema.FixedLen() {
+						t.Fatal("record shorter than schema's fixed area")
+					}
+					r.Unfix()
+					rows++
+				}
+				if rows == 0 {
+					t.Fatal("operator produced no rows; conformance fixture broken")
+				}
+				if err := it.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := it.Close(); err == nil {
+					t.Error("double close succeeded")
+				}
+				env.checkNoPinLeak(t)
 
-			// Early close without draining (fresh instance, fresh world).
-			env2 := newTestEnv(t, 1024)
-			it2, err := m.build(env2)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := it2.Open(); err != nil {
-				t.Fatal(err)
-			}
-			r, ok, err := it2.Next()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if ok {
-				r.Unfix()
-			}
-			if err := it2.Close(); err != nil {
-				t.Fatal(err)
-			}
-			env2.checkNoPinLeak(t)
-			if n := len(env2.Temp.List()); n != 0 {
-				t.Fatalf("%d temp files left after early close", n)
-			}
-		})
+				if ins != nil {
+					// The wrapper counted every call above, including the
+					// rejected misuse ones: next-before-open + drain + EOS;
+					// close-before-open + close + double close; open + double
+					// open. Counting failures too is deliberate — misuse
+					// shows up in the report rather than vanishing.
+					st := ins.Stats().Snapshot()
+					if st.Rows != rows {
+						t.Errorf("instrumented rows = %d, drained %d", st.Rows, rows)
+					}
+					if want := rows + 2; st.NextCalls != want {
+						t.Errorf("instrumented calls = %d, want %d", st.NextCalls, want)
+					}
+					if st.Opens != 2 {
+						t.Errorf("instrumented opens = %d, want 2", st.Opens)
+					}
+					if st.Closes != 3 {
+						t.Errorf("instrumented closes = %d, want 3", st.Closes)
+					}
+					if ins.Unwrap() == nil || ins.Name() != m.name {
+						t.Errorf("wrapper identity lost: name=%q", ins.Name())
+					}
+				}
+
+				// Early close without draining (fresh instance, fresh world).
+				env2 := newTestEnv(t, 1024)
+				it2, ins2, err := build(env2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := it2.Open(); err != nil {
+					t.Fatal(err)
+				}
+				r, ok, err := it2.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					r.Unfix()
+				}
+				if err := it2.Close(); err != nil {
+					t.Fatal(err)
+				}
+				env2.checkNoPinLeak(t)
+				if n := len(env2.Temp.List()); n != 0 {
+					t.Fatalf("%d temp files left after early close", n)
+				}
+				if ins2 != nil {
+					st := ins2.Stats().Snapshot()
+					if st.Opens != 1 || st.Closes != 1 || st.NextCalls != 1 {
+						t.Errorf("early-close counters: opens=%d closes=%d calls=%d, want 1/1/1",
+							st.Opens, st.Closes, st.NextCalls)
+					}
+				}
+			})
+		}
 	}
 }

@@ -148,21 +148,34 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 	return x, nil
 }
 
-// Stats reports exchange activity counters.
+// ExchangeStats reports exchange activity counters: data volume through
+// the port, fork effort, and the two blocking-time counters that attribute
+// pipeline imbalance (producers throttled by flow control vs consumers
+// starved for packets).
 type ExchangeStats struct {
 	Packets   int64
 	Records   int64
 	Forks     int64
 	SpawnTime time.Duration
+	// ProducerStall is cumulative time producers spent blocked on the
+	// flow-control semaphore ("after a producer has inserted a new packet
+	// into the port, it must request the flow control semaphore", §4.1).
+	// Zero when flow control is off or consumers keep up.
+	ProducerStall time.Duration
+	// ConsumerWait is cumulative time consumers spent blocked on an empty
+	// queue waiting for the producer group.
+	ConsumerWait time.Duration
 }
 
 // Stats returns a snapshot of the hub's counters.
 func (x *Exchange) Stats() ExchangeStats {
 	return ExchangeStats{
-		Packets:   x.packetsSent.Load(),
-		Records:   x.recordsSent.Load(),
-		Forks:     x.forks.Load(),
-		SpawnTime: time.Duration(x.spawnTime.Load()),
+		Packets:       x.packetsSent.Load(),
+		Records:       x.recordsSent.Load(),
+		Forks:         x.forks.Load(),
+		SpawnTime:     time.Duration(x.spawnTime.Load()),
+		ProducerStall: time.Duration(x.port.stats.producerStall.Load()),
+		ConsumerWait:  time.Duration(x.port.stats.consumerWait.Load()),
 	}
 }
 

@@ -33,6 +33,15 @@ func newTestEnv(t testing.TB, frames int) *testEnv {
 	}
 	t.Cleanup(func() { reg.CloseAll() })
 	pool := buffer.NewPool(reg, frames, buffer.TwoLevel)
+	// Every test using this env gets the pin-balance assertion for free:
+	// cleanups run LIFO, so this fires after the test body but before the
+	// registry closes. A query that returns with pins outstanding has lost
+	// track of buffer ownership even if its answer was right.
+	t.Cleanup(func() {
+		if n := pool.Stats().CurrentlyFixedHint; n != 0 {
+			t.Errorf("pin leak: %d pins outstanding at test end", n)
+		}
+	})
 	base := file.NewVolume(pool, baseID)
 	temp := file.NewVolume(pool, tempID)
 	return &testEnv{Env: NewEnv(pool, temp), base: base, pool: pool}

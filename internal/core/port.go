@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // A port is the shared data structure the exchange operator creates for
@@ -20,12 +22,23 @@ type packet struct {
 	producer int
 }
 
+// portStats aggregates the port's blocking-time counters. Both sides are
+// timed only when they actually block — the uncontended paths add a single
+// branch — so the numbers attribute pipeline imbalance: producer stall
+// means consumers are the bottleneck (flow control throttling, §4.1),
+// consumer wait means producers are.
+type portStats struct {
+	producerStall atomic.Int64 // ns producers spent blocked on the flow-control semaphore
+	consumerWait  atomic.Int64 // ns consumers spent blocked waiting for a packet
+}
+
 // queue is one consumer's input queue. In merge mode (keepStreams) the
 // packets are kept separated by producer so a merge iterator can consume
 // each sorted stream individually (paper, §4.4).
 type queue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+	ps   *portStats
 
 	shared []*packet   // normal mode: one FIFO
 	byProd [][]*packet // merge mode: one FIFO per producer
@@ -40,8 +53,8 @@ type queue struct {
 	fc chan struct{}
 }
 
-func newQueue(producers int, keepStreams bool, flowControl bool, slack int) *queue {
-	q := &queue{}
+func newQueue(producers int, keepStreams bool, flowControl bool, slack int, ps *portStats) *queue {
+	q := &queue{ps: ps}
 	q.cond = sync.NewCond(&q.mu)
 	if keepStreams {
 		q.byProd = make([][]*packet, producers)
@@ -90,8 +103,34 @@ func (q *queue) push(p *packet) {
 	q.cond.Broadcast()
 	q.mu.Unlock()
 	if q.fc != nil && !p.eos {
-		<-q.fc
+		q.takeToken()
 	}
+}
+
+// takeToken acquires one flow-control token, recording the stall time if
+// the producer group is already `slack` packets ahead.
+func (q *queue) takeToken() {
+	select {
+	case <-q.fc:
+	default:
+		start := time.Now()
+		<-q.fc
+		q.ps.producerStall.Add(int64(time.Since(start)))
+	}
+}
+
+// waitLocked blocks on the condition variable until ready() holds,
+// charging the blocked time to the consumer-wait counter. Callers hold
+// q.mu; ready is evaluated under it.
+func (q *queue) waitLocked(ready func() bool) {
+	if ready() {
+		return
+	}
+	start := time.Now()
+	for !ready() {
+		q.cond.Wait()
+	}
+	q.ps.consumerWait.Add(int64(time.Since(start)))
 }
 
 // noteEOS records an end-of-stream tag. Callers hold q.mu.
@@ -107,9 +146,7 @@ func (q *queue) noteEOS(p *packet) {
 // empty (returns nil).
 func (q *queue) pop(producers int) *packet {
 	q.mu.Lock()
-	for len(q.shared) == 0 && q.eosSeen < producers {
-		q.cond.Wait()
-	}
+	q.waitLocked(func() bool { return len(q.shared) > 0 || q.eosSeen >= producers })
 	var p *packet
 	if len(q.shared) > 0 {
 		p = q.shared[0]
@@ -126,9 +163,7 @@ func (q *queue) pop(producers int) *packet {
 // Returns nil when that stream has delivered end-of-stream and is empty.
 func (q *queue) popFrom(producer int) *packet {
 	q.mu.Lock()
-	for len(q.byProd[producer]) == 0 && !q.eosByProd[producer] {
-		q.cond.Wait()
-	}
+	q.waitLocked(func() bool { return len(q.byProd[producer]) > 0 || q.eosByProd[producer] })
 	var p *packet
 	if l := q.byProd[producer]; len(l) > 0 {
 		p = l[0]
@@ -199,6 +234,7 @@ func (q *queue) waitAllEOS(producers int) {
 // port ties the queues together with the shutdown handshake.
 type port struct {
 	queues []*queue
+	stats  portStats
 
 	// allowClose is the semaphore the (last) consumer releases to permit
 	// producers to shut down; producers wait on it after their final
@@ -214,7 +250,7 @@ type port struct {
 func newPort(producers, consumers int, keepStreams, flowControl bool, slack int) *port {
 	pt := &port{allowClose: make(chan struct{})}
 	for i := 0; i < consumers; i++ {
-		pt.queues = append(pt.queues, newQueue(producers, keepStreams, flowControl, slack))
+		pt.queues = append(pt.queues, newQueue(producers, keepStreams, flowControl, slack, &pt.stats))
 	}
 	return pt
 }

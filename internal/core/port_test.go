@@ -9,7 +9,7 @@ import (
 // flow-control semaphore's token conservation, and drain semantics.
 
 func TestQueuePushPopFIFO(t *testing.T) {
-	q := newQueue(1, false, false, 0)
+	q := newQueue(1, false, false, 0, &portStats{})
 	for i := 0; i < 5; i++ {
 		q.push(&packet{producer: i})
 	}
@@ -22,7 +22,7 @@ func TestQueuePushPopFIFO(t *testing.T) {
 }
 
 func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
-	q := newQueue(2, false, false, 0)
+	q := newQueue(2, false, false, 0, &portStats{})
 	q.push(&packet{producer: 0, eos: true})
 	q.push(&packet{producer: 1, eos: true})
 	// Two tagged packets pop normally, then nil.
@@ -35,7 +35,7 @@ func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
 }
 
 func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
-	q := newQueue(1, false, true, 2)
+	q := newQueue(1, false, true, 2, &portStats{})
 	// Two pushes consume both tokens without blocking.
 	done := make(chan struct{})
 	go func() {
@@ -70,7 +70,7 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 }
 
 func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
-	q := newQueue(1, false, true, 1)
+	q := newQueue(1, false, true, 1, &portStats{})
 	q.push(&packet{}) // consumes the only token
 	done := make(chan struct{})
 	go func() {
@@ -85,7 +85,7 @@ func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
 }
 
 func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
-	q := newQueue(1, false, true, 1)
+	q := newQueue(1, false, true, 1, &portStats{})
 	q.push(&packet{})
 	blocked := make(chan struct{})
 	go func() {
@@ -110,7 +110,7 @@ func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 }
 
 func TestQueueKeepStreamsPopFrom(t *testing.T) {
-	q := newQueue(2, true, false, 0)
+	q := newQueue(2, true, false, 0, &portStats{})
 	q.push(&packet{producer: 1})
 	q.push(&packet{producer: 0})
 	q.push(&packet{producer: 1, eos: true})
@@ -131,7 +131,7 @@ func TestQueueKeepStreamsPopFrom(t *testing.T) {
 }
 
 func TestQueueTryPop(t *testing.T) {
-	q := newQueue(1, false, false, 0)
+	q := newQueue(1, false, false, 0, &portStats{})
 	if q.tryPop() != nil {
 		t.Fatal("tryPop on empty queue returned a packet")
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/record"
+)
+
+// OpStats holds one operator's runtime counters. All fields are atomic so
+// one OpStats value can be shared by the parallel instances of a plan node
+// — the per-producer subtrees an exchange instantiates — and updated
+// concurrently without coordination beyond the counter itself.
+type OpStats struct {
+	Rows      atomic.Int64 // records returned by Next
+	NextCalls atomic.Int64 // Next invocations (including the EOS call)
+	Opens     atomic.Int64 // Open invocations (parallel instances add up)
+	Closes    atomic.Int64 // Close invocations
+
+	OpenNanos  atomic.Int64 // wall time inside Open
+	NextNanos  atomic.Int64 // cumulative wall time inside Next
+	CloseNanos atomic.Int64 // wall time inside Close
+}
+
+// OpStatsSnapshot is a plain-value copy of an OpStats, safe to compare,
+// print and store after the query has finished.
+type OpStatsSnapshot struct {
+	Rows      int64
+	NextCalls int64
+	Opens     int64
+	Closes    int64
+	OpenTime  time.Duration
+	NextTime  time.Duration
+	CloseTime time.Duration
+}
+
+// Snapshot reads all counters.
+func (s *OpStats) Snapshot() OpStatsSnapshot {
+	return OpStatsSnapshot{
+		Rows:      s.Rows.Load(),
+		NextCalls: s.NextCalls.Load(),
+		Opens:     s.Opens.Load(),
+		Closes:    s.Closes.Load(),
+		OpenTime:  time.Duration(s.OpenNanos.Load()),
+		NextTime:  time.Duration(s.NextNanos.Load()),
+		CloseTime: time.Duration(s.CloseNanos.Load()),
+	}
+}
+
+// String renders the snapshot in the compact form used by EXPLAIN ANALYZE.
+func (s OpStatsSnapshot) String() string {
+	return fmt.Sprintf("rows=%d calls=%d opens=%d open=%v next=%v close=%v",
+		s.Rows, s.NextCalls, s.Opens,
+		s.OpenTime.Round(time.Microsecond),
+		s.NextTime.Round(time.Microsecond),
+		s.CloseTime.Round(time.Microsecond))
+}
+
+// Instrumented is the instrumentation adapter: a plain iterator that
+// forwards to an inner iterator while counting rows, calls and wall time.
+// Because it is itself an iterator it composes with everything else —
+// including exchange, whose producer subtrees may each carry their own
+// wrapper updating one shared OpStats.
+//
+// The uninstrumented path pays nothing: plans built without analysis never
+// allocate or touch an Instrumented.
+type Instrumented struct {
+	inner Iterator
+	name  string
+	st    *OpStats
+}
+
+// Instrument wraps it with a fresh, private OpStats.
+func Instrument(it Iterator, name string) *Instrumented {
+	return InstrumentWith(it, name, &OpStats{})
+}
+
+// InstrumentWith wraps it updating the given (possibly shared) OpStats.
+func InstrumentWith(it Iterator, name string, st *OpStats) *Instrumented {
+	return &Instrumented{inner: it, name: name, st: st}
+}
+
+// Name returns the label given at wrap time.
+func (i *Instrumented) Name() string { return i.name }
+
+// Stats returns the live counters (shared with any sibling wrappers).
+func (i *Instrumented) Stats() *OpStats { return i.st }
+
+// Unwrap returns the iterator being observed.
+func (i *Instrumented) Unwrap() Iterator { return i.inner }
+
+// Schema implements Iterator.
+func (i *Instrumented) Schema() *record.Schema { return i.inner.Schema() }
+
+// Open implements Iterator.
+func (i *Instrumented) Open() error {
+	start := time.Now()
+	err := i.inner.Open()
+	i.st.OpenNanos.Add(int64(time.Since(start)))
+	i.st.Opens.Add(1)
+	return err
+}
+
+// Next implements Iterator.
+func (i *Instrumented) Next() (Rec, bool, error) {
+	start := time.Now()
+	r, ok, err := i.inner.Next()
+	i.st.NextNanos.Add(int64(time.Since(start)))
+	i.st.NextCalls.Add(1)
+	if ok {
+		i.st.Rows.Add(1)
+	}
+	return r, ok, err
+}
+
+// Close implements Iterator.
+func (i *Instrumented) Close() error {
+	start := time.Now()
+	err := i.inner.Close()
+	i.st.CloseNanos.Add(int64(time.Since(start)))
+	i.st.Closes.Add(1)
+	return err
+}

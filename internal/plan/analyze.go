@@ -3,38 +3,53 @@ package plan
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/record"
+	"repro/internal/storage/buffer"
 )
 
-// Analysis collects runtime statistics per plan node: how many records
-// each operator produced and how much (inclusive) wall time its Next
-// calls took. Parallel instances of the same node — the per-producer
-// subtrees an exchange instantiates — aggregate into one entry.
+// Analysis is the EXPLAIN ANALYZE collector: runtime statistics per plan
+// node (rows out, Next calls, open/next/close wall time via core.OpStats),
+// exchange port counters (packets, records, flow-control stall and
+// consumer wait) per exchange node, and the buffer pool's activity over
+// the run. Parallel instances of the same node — the per-producer subtrees
+// an exchange instantiates — aggregate into one entry.
 type Analysis struct {
 	root  *Node
-	stats map[*Node]*NodeStats
+	stats map[*Node]*core.OpStats
+
+	pool *buffer.Pool
+	base buffer.Stats // pool counters at build time; String() shows the delta
+
+	// hubs collects the exchange hubs instantiated for each exchange node.
+	// Guarded by mu: exchange nodes nested under another exchange are built
+	// from producer goroutines at run time.
+	mu   sync.Mutex
+	hubs map[*Node][]*core.Exchange
 }
 
-// NodeStats are one node's counters. All fields are safe for concurrent
-// update from parallel plan instances.
-type NodeStats struct {
-	Records   atomic.Int64
-	NextCalls atomic.Int64
-	NextNanos atomic.Int64
-	Opens     atomic.Int64
-}
+// NodeStats are one node's counters; an alias for the shared core type so
+// callers can use either name.
+type NodeStats = core.OpStats
 
 // BuildAnalyzed is Build with instrumentation: every operator is wrapped
-// in a counting adapter. Inspect the returned Analysis after execution.
+// in a core.Instrumented adapter and every exchange hub is registered.
+// Inspect the returned Analysis after execution.
 func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysis, error) {
-	an := &Analysis{root: n, stats: map[*Node]*NodeStats{}}
+	an := &Analysis{
+		root:  n,
+		stats: map[*Node]*core.OpStats{},
+		hubs:  map[*Node][]*core.Exchange{},
+		pool:  env.Pool,
+	}
+	if an.pool != nil {
+		an.base = an.pool.Stats()
+	}
 	var walk func(*Node)
 	walk = func(nd *Node) {
-		an.stats[nd] = &NodeStats{}
+		an.stats[nd] = &core.OpStats{}
 		for _, in := range nd.Inputs {
 			walk(in)
 		}
@@ -48,57 +63,76 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 }
 
 // Stats returns the counters recorded for a node.
-func (a *Analysis) Stats(n *Node) *NodeStats { return a.stats[n] }
+func (a *Analysis) Stats(n *Node) *core.OpStats { return a.stats[n] }
 
-// String renders the plan with per-node record counts and time.
+// addExchange registers a hub instantiated for an exchange node.
+func (a *Analysis) addExchange(n *Node, x *core.Exchange) {
+	a.mu.Lock()
+	a.hubs[n] = append(a.hubs[n], x)
+	a.mu.Unlock()
+}
+
+// ExchangeStats sums the port counters of every hub instantiated for the
+// given exchange node (normally one; zero if the node never ran).
+func (a *Analysis) ExchangeStats(n *Node) core.ExchangeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sum core.ExchangeStats
+	for _, x := range a.hubs[n] {
+		st := x.Stats()
+		sum.Packets += st.Packets
+		sum.Records += st.Records
+		sum.Forks += st.Forks
+		sum.SpawnTime += st.SpawnTime
+		sum.ProducerStall += st.ProducerStall
+		sum.ConsumerWait += st.ConsumerWait
+	}
+	return sum
+}
+
+// PoolStats returns the buffer pool's activity since BuildAnalyzed:
+// hits/misses, device I/O, and the pin balance (outstanding pins are a
+// leak once the query has closed).
+func (a *Analysis) PoolStats() buffer.Stats {
+	if a.pool == nil {
+		return buffer.Stats{}
+	}
+	return a.pool.Stats().Sub(a.base)
+}
+
+// String renders the annotated plan tree: per-operator rows, Next calls
+// and open/next/close wall time; packet, stall and wait counters under
+// each exchange; and the buffer pool's totals as a footer.
 func (a *Analysis) String() string {
 	var sb strings.Builder
 	a.render(&sb, a.root, 0)
+	if a.pool != nil {
+		st := a.PoolStats()
+		balance := "pins balanced"
+		if st.CurrentlyFixedHint != 0 {
+			balance = fmt.Sprintf("PIN LEAK: %d outstanding", st.CurrentlyFixedHint)
+		}
+		fmt.Fprintf(&sb, "buffer: fixes=%d hits=%d misses=%d reads=%d writes=%d extra-pins=%d (%s)\n",
+			st.Fixes, st.Hits, st.Misses, st.Reads, st.Writes, st.ExtraPins, balance)
+	}
 	return sb.String()
 }
 
 func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
-	st := a.stats[n]
-	sb.WriteString(strings.Repeat("  ", depth))
+	indent := strings.Repeat("  ", depth)
+	sb.WriteString(indent)
 	sb.WriteString(describe(n))
-	if st != nil {
-		d := time.Duration(st.NextNanos.Load())
-		fmt.Fprintf(sb, "  [rows=%d, opens=%d, next=%v]",
-			st.Records.Load(), st.Opens.Load(), d.Round(time.Microsecond))
+	if st := a.stats[n]; st != nil {
+		fmt.Fprintf(sb, "  [%s]", st.Snapshot())
 	}
 	sb.WriteByte('\n')
+	if n.Kind == KindExchange {
+		x := a.ExchangeStats(n)
+		fmt.Fprintf(sb, "%s  {packets=%d records=%d forks=%d stall=%v wait=%v}\n",
+			indent, x.Packets, x.Records, x.Forks,
+			x.ProducerStall.Round(time.Microsecond), x.ConsumerWait.Round(time.Microsecond))
+	}
 	for _, in := range n.Inputs {
 		a.render(sb, in, depth+1)
 	}
 }
-
-// counted is the instrumentation adapter. It is itself a plain iterator,
-// so instrumentation composes with everything else.
-type counted struct {
-	inner core.Iterator
-	st    *NodeStats
-}
-
-// Schema implements core.Iterator.
-func (c *counted) Schema() *record.Schema { return c.inner.Schema() }
-
-// Open implements core.Iterator.
-func (c *counted) Open() error {
-	c.st.Opens.Add(1)
-	return c.inner.Open()
-}
-
-// Next implements core.Iterator.
-func (c *counted) Next() (core.Rec, bool, error) {
-	start := time.Now()
-	r, ok, err := c.inner.Next()
-	c.st.NextNanos.Add(int64(time.Since(start)))
-	c.st.NextCalls.Add(1)
-	if ok {
-		c.st.Records.Add(1)
-	}
-	return r, ok, err
-}
-
-// Close implements core.Iterator.
-func (c *counted) Close() error { return c.inner.Close() }

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// timingRE matches the wall-time values in an analyze report. Everything
+// else — rows, calls, packets, records, buffer counters — is deterministic
+// for a fixed plan over fixed data, so only timings are normalized.
+var timingRE = regexp.MustCompile(`(open|next|close|stall|wait)=[^] }\n]+`)
+
+func normalizeTimings(s string) string {
+	return timingRE.ReplaceAllString(s, "$1=T")
+}
+
+// TestAnalyzeGoldenOutput pins the whole EXPLAIN ANALYZE report for a
+// parallel plan: tree shape, per-operator counters, exchange port lines
+// and the buffer footer. The plan is chosen so every non-time counter is
+// deterministic: three disjoint partitions of 200 rows each, packet size
+// 50 dividing 200 evenly, and a pool large enough that nothing evicts.
+// Regenerate with: go test ./internal/plan -run TestAnalyzeGoldenOutput -update
+func TestAnalyzeGoldenOutput(t *testing.T) {
+	db := newTestDB(t)
+	db.loadPartitioned(t, "nums", 600, 3)
+	n, err := Parse("pscan nums 3 | exchange producers=3 packet=50 | agg group v compute count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, an, err := BuildAnalyzed(db.env, db.cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Drain(it); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeTimings(an.String())
+
+	golden := filepath.Join("testdata", "analyze.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("analyze report drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

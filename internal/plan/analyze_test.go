@@ -26,13 +26,13 @@ func TestBuildAnalyzedCounts(t *testing.T) {
 		t.Fatalf("rows = %d", count)
 	}
 	// Root (sort) produced 25, filter produced 25, scan produced 100.
-	if got := an.Stats(n).Records.Load(); got != 25 {
+	if got := an.Stats(n).Rows.Load(); got != 25 {
 		t.Fatalf("sort rows = %d", got)
 	}
-	if got := an.Stats(n.Inputs[0]).Records.Load(); got != 25 {
+	if got := an.Stats(n.Inputs[0]).Rows.Load(); got != 25 {
 		t.Fatalf("filter rows = %d", got)
 	}
-	if got := an.Stats(n.Inputs[0].Inputs[0]).Records.Load(); got != 100 {
+	if got := an.Stats(n.Inputs[0].Inputs[0]).Rows.Load(); got != 100 {
 		t.Fatalf("scan rows = %d", got)
 	}
 	out := an.String()
@@ -57,10 +57,31 @@ func TestBuildAnalyzedParallelAggregatesInstances(t *testing.T) {
 	}
 	// The pscan node aggregates across all three producer instances.
 	scanNode := n.Inputs[0].Inputs[0]
-	if got := an.Stats(scanNode).Records.Load(); got != 600 {
+	if got := an.Stats(scanNode).Rows.Load(); got != 600 {
 		t.Fatalf("pscan rows = %d, want 600", got)
 	}
 	if got := an.Stats(scanNode).Opens.Load(); got != 3 {
 		t.Fatalf("pscan opens = %d, want 3", got)
+	}
+	// The exchange node registered its hub: 600 records crossed the port.
+	xNode := n.Inputs[0]
+	xs := an.ExchangeStats(xNode)
+	if xs.Records != 600 {
+		t.Fatalf("exchange records = %d, want 600", xs.Records)
+	}
+	if xs.Packets < 3 {
+		t.Fatalf("exchange packets = %d", xs.Packets)
+	}
+	if xs.Forks != 3 {
+		t.Fatalf("exchange forks = %d, want 3", xs.Forks)
+	}
+	out := an.String()
+	for _, want := range []string{"packets=", "stall=", "wait=", "buffer: fixes="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "pins balanced") {
+		t.Fatalf("pin leak reported:\n%s", out)
 	}
 }

@@ -209,7 +209,7 @@ func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	if st == nil {
 		return it, nil
 	}
-	return &counted{inner: it, st: st}, nil
+	return core.InstrumentWith(it, n.Kind.String(), st), nil
 }
 
 func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
@@ -463,6 +463,9 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	x, err := core.NewExchange(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.analysis != nil {
+		ctx.analysis.addExchange(n, x)
 	}
 	if o.KeepStreams {
 		if cfg.Consumers != 1 {

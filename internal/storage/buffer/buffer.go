@@ -81,6 +81,27 @@ type Stats struct {
 	CurrentlyFixedHint int64 // Fixes+ExtraPins-Unfixes; 0 when all pins balanced
 }
 
+// Sub returns the counter deltas since a previous snapshot, for
+// attributing pool activity to one query or phase. CurrentlyFixedHint is
+// recomputed from the deltas: 0 means the interval's pins balanced.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Fixes:        s.Fixes - prev.Fixes,
+		Unfixes:      s.Unfixes - prev.Unfixes,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		Evictions:    s.Evictions - prev.Evictions,
+		Restarts:     s.Restarts - prev.Restarts,
+		DaemonReads:  s.DaemonReads - prev.DaemonReads,
+		DaemonWrites: s.DaemonWrites - prev.DaemonWrites,
+		ExtraPins:    s.ExtraPins - prev.ExtraPins,
+	}
+	d.CurrentlyFixedHint = d.Fixes + d.ExtraPins - d.Unfixes
+	return d
+}
+
 // Pool is the shared buffer pool.
 type Pool struct {
 	reg  *device.Registry
