@@ -7,8 +7,10 @@
 //	volcano-bench                      # everything, paper-scale (100k records)
 //	volcano-bench -exp t1              # just the overhead table
 //	volcano-bench -exp fig2a           # just the packet-size sweep
-//	volcano-bench -exp ablations       # A1..A10
+//	volcano-bench -exp ablations       # A1..A12
 //	volcano-bench -records 20000       # smaller/faster runs
+//	volcano-bench -json BENCH.json     # also emit machine-readable results
+//	volcano-bench -trace out.json      # also record one traced pipeline pass
 package main
 
 import (
@@ -18,21 +20,24 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: t1, fig2a, fig2b, ablations, all")
 	records := flag.Int("records", bench.PaperRecords, "records for the record-passing program")
 	joinRows := flag.Int("joinrows", 20000, "rows per side for the match ablation")
+	jsonPath := flag.String("json", "", "write machine-readable results (stable schema) to this file")
+	tracePath := flag.String("trace", "", "run one traced pipeline pass and write Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *records, *joinRows); err != nil {
+	if err := run(*exp, *records, *joinRows, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "volcano-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, records, joinRows int) error {
+func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
 	w := os.Stdout
 	runT1 := exp == "t1" || exp == "all"
 	runFig2 := exp == "fig2a" || exp == "fig2b" || exp == "all"
@@ -40,6 +45,7 @@ func run(exp string, records, joinRows int) error {
 	if !runT1 && !runFig2 && !runAbl {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	report := bench.NewReport(records)
 
 	if runT1 {
 		r, err := bench.RunT1(records)
@@ -48,6 +54,7 @@ func run(exp string, records, joinRows int) error {
 		}
 		r.Print(w)
 		fmt.Fprintln(w)
+		report.T1 = r.JSON()
 	}
 
 	if runFig2 {
@@ -57,6 +64,8 @@ func run(exp string, records, joinRows int) error {
 		}
 		r.Print(w)
 		fmt.Fprintln(w)
+		report.Fig2a = r.JSONPoints()
+		report.Fig2bSlopes = r.JSONSlopes()
 	}
 
 	if runAbl {
@@ -85,7 +94,56 @@ func run(exp string, records, joinRows int) error {
 			}
 			a.Print(w)
 			fmt.Fprintln(w)
+			report.Ablations = append(report.Ablations, a.JSON(na.name))
 		}
+	}
+
+	if tracePath != "" {
+		if err := runTraced(records, tracePath); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		werr := report.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("writing report: %w", werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("writing report: %w", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runTraced records one pipeline pass (the Figure-2a topology) with the
+// tracer attached and writes the Chrome trace.
+func runTraced(records int, path string) error {
+	tr := trace.New()
+	if _, err := bench.RunTracedPass(records, tr); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	werr := tr.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing trace: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("writing trace: %w", cerr)
+	}
+	if d := tr.TotalDropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events dropped: ring buffers full)\n", path, d)
+	} else {
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
 	}
 	return nil
 }

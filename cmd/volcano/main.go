@@ -29,6 +29,7 @@ import (
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/device"
 	"repro/internal/storage/file"
+	"repro/internal/trace"
 )
 
 type repeated []string
@@ -46,18 +47,19 @@ func main() {
 	maxRows := flag.Int("maxrows", 0, "print at most this many rows (0 = all)")
 	db := flag.String("db", "", "durable database file: created if absent, loaded tables persist")
 	dbPages := flag.Int("dbpages", 1<<18, "capacity in pages when creating a new -db file")
+	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
 	flag.Var(&schemas, "schema", "table schema: name=field:type,... (repeatable)")
 	flag.Var(&loads, "load", "load CSV: name=path (repeatable; needs -schema for name)")
 	flag.Var(&partitions, "partition", "split a table: name:k (repeatable)")
 	flag.Parse()
 
-	if err := run(*planFile, *query, *frames, *explain, *analyze, *maxRows, *db, *dbPages, schemas, loads, partitions); err != nil {
+	if err := run(*planFile, *query, *frames, *explain, *analyze, *maxRows, *db, *dbPages, *tracePath, schemas, loads, partitions); err != nil {
 		fmt.Fprintln(os.Stderr, "volcano:", err)
 		os.Exit(1)
 	}
 }
 
-func run(planFile, query string, frames int, explain, analyze bool, maxRows int, db string, dbPages int, schemas, loads, partitions []string) error {
+func run(planFile, query string, frames int, explain, analyze bool, maxRows int, db string, dbPages int, tracePath string, schemas, loads, partitions []string) error {
 	script := query
 	if planFile != "" {
 		b, err := os.ReadFile(planFile)
@@ -112,6 +114,11 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	}
 	defer reg.CloseAll()
 	pool := buffer.NewPool(reg, frames, buffer.TwoLevel)
+	var tracer *trace.Tracer
+	if tracePath != "" {
+		tracer = trace.New()
+		pool.SetTracer(tracer)
+	}
 	var base *file.Volume
 	switch {
 	case durable && created:
@@ -178,13 +185,20 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 
 	var it core.Iterator
 	var analysis *plan.Analysis
-	if analyze {
+	switch {
+	case analyze:
 		var err error
-		it, analysis, err = plan.BuildAnalyzed(env, cat, node)
+		it, analysis, err = plan.BuildAnalyzedTraced(env, cat, node, tracer)
 		if err != nil {
 			return err
 		}
-	} else {
+	case tracer.Enabled():
+		var err error
+		it, err = plan.BuildTraced(env, cat, node, tracer)
+		if err != nil {
+			return err
+		}
+	default:
 		var err error
 		it, err = plan.Build(env, cat, node)
 		if err != nil {
@@ -197,11 +211,38 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	if analysis != nil {
 		fmt.Fprint(os.Stderr, analysis.String())
 	}
+	if tracer.Enabled() {
+		if err := writeTrace(tracer, tracePath); err != nil {
+			return err
+		}
+	}
 	if durable {
 		if err := base.Save(); err != nil {
 			return fmt.Errorf("saving database: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "database saved to %s\n", db)
+	}
+	return nil
+}
+
+// writeTrace dumps the recorded events as Chrome trace-event JSON.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	werr := tr.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing trace: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("writing trace: %w", cerr)
+	}
+	if d := tr.TotalDropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events dropped: ring buffers full)\n", path, d)
+	} else {
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
 	}
 	return nil
 }

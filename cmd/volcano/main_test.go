@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ const empCSV = "0,0,1000.5,alice\n1,1,2000.0,bob\n2,0,3000.25,carol\n3,1,4000.0,
 
 func TestRunInMemoryQuery(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
-	err := run("", "scan emp | filter dept = 0 | sort salary desc", 256, false, false, 0, "", 0,
+	err := run("", "scan emp | filter dept = 0 | sort salary desc", 256, false, false, 0, "", 0, "",
 		[]string{"emp=id:int,dept:int,salary:float,name:string"},
 		[]string{"emp=" + csv}, nil)
 	if err != nil {
@@ -57,7 +58,7 @@ func TestRunInMemoryQuery(t *testing.T) {
 }
 
 func TestRunExplainOnly(t *testing.T) {
-	if err := run("", "scan emp | sort id", 256, true, false, 0, "", 0, nil, nil, nil); err != nil {
+	if err := run("", "scan emp | sort id", 256, true, false, 0, "", 0, "", nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -65,7 +66,7 @@ func TestRunExplainOnly(t *testing.T) {
 func TestRunAnalyze(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	out := captureStderr(t, func() error {
-		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0,
+		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0, "",
 			[]string{"emp=id:int,dept:int,salary:float,name:string"},
 			[]string{"emp=" + csv}, nil)
 	})
@@ -81,7 +82,7 @@ func TestRunAnalyzeParallelExchangeCounters(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	out := captureStderr(t, func() error {
 		return run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
-			512, false, true, 0, "", 0,
+			512, false, true, 0, "", 0, "",
 			[]string{"emp=id:int,dept:int,salary:float,name:string"},
 			[]string{"emp=" + csv}, []string{"emp:2"})
 	})
@@ -97,7 +98,7 @@ func TestRunAnalyzeParallelExchangeCounters(t *testing.T) {
 func TestRunPartitionedParallelQuery(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	err := run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
-		512, false, false, 0, "", 0,
+		512, false, false, 0, "", 0, "",
 		[]string{"emp=id:int,dept:int,salary:float,name:string"},
 		[]string{"emp=" + csv}, []string{"emp:2"})
 	if err != nil {
@@ -105,10 +106,61 @@ func TestRunPartitionedParallelQuery(t *testing.T) {
 	}
 }
 
+func TestRunTracedParallelQuery(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	err := run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+		512, false, false, 0, "", 0, tracePath,
+		[]string{"emp=id:int,dept:int,salary:float,name:string"},
+		[]string{"emp=" + csv}, []string{"emp:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if n, ok := e["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"producer-start", "push", "pop", "eos", "allow-close"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+}
+
+// TestRunAnalyzeAndTraceTogether checks -analyze -trace compose: the
+// analyze report still renders and the trace file is written.
+func TestRunAnalyzeAndTraceTogether(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out := captureStderr(t, func() error {
+		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0, tracePath,
+			[]string{"emp=id:int,dept:int,salary:float,name:string"},
+			[]string{"emp=" + csv}, nil)
+	})
+	if !strings.Contains(out, "rows=4") || !strings.Contains(out, "trace written") {
+		t.Fatalf("missing analyze report or trace confirmation:\n%s", out)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunPlanFile(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	planPath := writeCSV(t, "q.vp", "scan emp\n| project name\n")
-	err := run(planPath, "", 256, false, false, 2, "", 0,
+	err := run(planPath, "", 256, false, false, 2, "", 0, "",
 		[]string{"emp=id:int,dept:int,salary:float,name:string"},
 		[]string{"emp=" + csv}, nil)
 	if err != nil {
@@ -120,14 +172,14 @@ func TestRunDurableDatabaseAcrossInvocations(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "test.vdb")
 	csv := writeCSV(t, "emp.csv", empCSV)
 	// First invocation: create the db, load the table.
-	err := run("", "scan emp | agg group dept compute count", 256, false, false, 0, dbPath, 4096,
+	err := run("", "scan emp | agg group dept compute count", 256, false, false, 0, dbPath, 4096, "",
 		[]string{"emp=id:int,dept:int,salary:float,name:string"},
 		[]string{"emp=" + csv}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second invocation: reopen, query persisted data without loading.
-	err = run("", "scan emp | filter salary > 2500.0", 256, false, false, 0, dbPath, 4096, nil, nil, nil)
+	err = run("", "scan emp | filter salary > 2500.0", 256, false, false, 0, dbPath, 4096, "", nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,49 +191,49 @@ func TestRunErrors(t *testing.T) {
 		f    func(t *testing.T) error
 	}{
 		{"no plan", func(t *testing.T) error {
-			return run("", "", 256, false, false, 0, "", 0, nil, nil, nil)
+			return run("", "", 256, false, false, 0, "", 0, "", nil, nil, nil)
 		}},
 		{"bad plan", func(t *testing.T) error {
-			return run("", "bogus stage", 256, false, false, 0, "", 0, nil, nil, nil)
+			return run("", "bogus stage", 256, false, false, 0, "", 0, "", nil, nil, nil)
 		}},
 		{"missing plan file", func(t *testing.T) error {
-			return run(filepath.Join(t.TempDir(), "nope.vp"), "", 256, false, false, 0, "", 0, nil, nil, nil)
+			return run(filepath.Join(t.TempDir(), "nope.vp"), "", 256, false, false, 0, "", 0, "", nil, nil, nil)
 		}},
 		{"bad schema flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, []string{"broken"}, nil, nil)
+			return run("", "scan t", 256, false, false, 0, "", 0, "", []string{"broken"}, nil, nil)
 		}},
 		{"bad schema type", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, []string{"t=a:blob"}, nil, nil)
+			return run("", "scan t", 256, false, false, 0, "", 0, "", []string{"t=a:blob"}, nil, nil)
 		}},
 		{"load without schema", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "1\n")
-			return run("", "scan t", 256, false, false, 0, "", 0, nil, []string{"t=" + csv}, nil)
+			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, []string{"t=" + csv}, nil)
 		}},
 		{"bad load flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, nil, []string{"broken"}, nil)
+			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, []string{"broken"}, nil)
 		}},
 		{"load missing file", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0,
+			return run("", "scan t", 256, false, false, 0, "", 0, "",
 				[]string{"t=a:int"}, []string{"t=/nonexistent.csv"}, nil)
 		}},
 		{"csv column mismatch", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "1,2\n")
-			return run("", "scan t", 256, false, false, 0, "", 0,
+			return run("", "scan t", 256, false, false, 0, "", 0, "",
 				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
 		}},
 		{"csv bad int", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "notanint\n")
-			return run("", "scan t", 256, false, false, 0, "", 0,
+			return run("", "scan t", 256, false, false, 0, "", 0, "",
 				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
 		}},
 		{"bad partition flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, nil, nil, []string{"t:x"})
+			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, nil, []string{"t:x"})
 		}},
 		{"partition of unloaded table", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, nil, nil, []string{"t:2"})
+			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, nil, []string{"t:2"})
 		}},
 		{"query unknown table", func(t *testing.T) error {
-			return run("", "scan nosuch", 256, false, false, 0, "", 0, nil, nil, nil)
+			return run("", "scan nosuch", 256, false, false, 0, "", 0, "", nil, nil, nil)
 		}},
 	}
 	for _, c := range cases {

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestReportSchema pins the machine-readable schema: field names, units
+// (integer nanoseconds) and the version stamp, from a real small T1 run
+// plus a synthetic ablation.
+func TestReportSchema(t *testing.T) {
+	t1, err := RunT1(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(500)
+	rep.T1 = t1.JSON()
+	rep.Ablations = append(rep.Ablations, (&Ablation{
+		Title: "synthetic",
+		Lines: []Line{{Name: "base", Elapsed: 3 * time.Millisecond, Extra: "x=1"}},
+	}).JSON("A0"))
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if v, ok := doc["schema_version"].(float64); !ok || int(v) != ReportSchemaVersion {
+		t.Errorf("schema_version = %v, want %d", doc["schema_version"], ReportSchemaVersion)
+	}
+	for _, key := range []string{"tool", "go_version", "gomaxprocs", "records", "t1", "ablations"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report missing %q:\n%s", key, buf.String())
+		}
+	}
+	t1doc, ok := doc["t1"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("t1 is not an object: %v", doc["t1"])
+	}
+	for _, key := range []string{"no_exchange_ns", "inline_ns", "pipeline_flow_ns", "pipeline_noflow_ns", "per_record_per_exchange_ns"} {
+		v, ok := t1doc[key].(float64)
+		if !ok {
+			t.Errorf("t1 missing %q: %v", key, t1doc)
+			continue
+		}
+		if v != float64(int64(v)) {
+			t.Errorf("t1.%s = %v, want integer nanoseconds", key, v)
+		}
+	}
+	abl, ok := doc["ablations"].([]interface{})
+	if !ok || len(abl) != 1 {
+		t.Fatalf("ablations = %v", doc["ablations"])
+	}
+	a0 := abl[0].(map[string]interface{})
+	if a0["name"] != "A0" || a0["title"] != "synthetic" {
+		t.Errorf("ablation = %v", a0)
+	}
+	line := a0["lines"].([]interface{})[0].(map[string]interface{})
+	if line["elapsed_ns"].(float64) != 3e6 || line["extra"] != "x=1" {
+		t.Errorf("line = %v", line)
+	}
+}
+
+// TestReportFig2Conversion checks the Figure-2 conversions carry points
+// and slopes through unchanged.
+func TestReportFig2Conversion(t *testing.T) {
+	r := &Fig2Result{
+		Records: 100,
+		Points: []Fig2Point{
+			{PacketSize: 1, Elapsed: 10 * time.Millisecond, PaperSec: 171},
+			{PacketSize: 10, Elapsed: 2 * time.Millisecond},
+			{PacketSize: 83, Elapsed: time.Millisecond, PaperSec: 13.7},
+		},
+	}
+	pts := r.JSONPoints()
+	if len(pts) != 3 || pts[0].ElapsedNs != 10e6 || pts[0].PaperSec != 171 || pts[1].PaperSec != 0 {
+		t.Errorf("points = %+v", pts)
+	}
+	slopes := r.JSONSlopes()
+	if slopes.SlopeSmallPackets >= 0 {
+		t.Errorf("slope over decreasing elapsed should be negative, got %v", slopes.SlopeSmallPackets)
+	}
+}
+
+// TestRunTracedPass checks the canonical traced pass records the exchange
+// protocol and exports valid Chrome JSON.
+func TestRunTracedPass(t *testing.T) {
+	tr := trace.New()
+	res, err := RunTracedPass(2000, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2000 {
+		t.Fatalf("records = %d", res.Records)
+	}
+	names := map[string]bool{}
+	for _, s := range tr.Snapshot() {
+		for _, e := range s.Events {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"producer-start", "push", "pop", "eos", "allow-close"} {
+		if !names[want] {
+			t.Errorf("traced pass missing %q events", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+}

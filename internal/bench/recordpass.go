@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/storage/buffer"
+	"repro/internal/trace"
 )
 
 // The record-passing program of §5: create records filled with four
@@ -32,6 +33,11 @@ type PassConfig struct {
 	// reported in PassResult.Breakdown. Off by default so the measured
 	// path stays untouched.
 	Analyze bool
+	// Tracer, when set, records the run as structured trace events —
+	// every exchange boundary's protocol, the instrumented sink, and any
+	// buffer-daemon activity — for Chrome-trace export. nil (the
+	// default) keeps the measured path untouched.
+	Tracer *trace.Tracer
 }
 
 // PassResult reports one run.
@@ -59,14 +65,17 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 	}
 	defer w.Close()
 
+	if cfg.Tracer.Enabled() {
+		w.Pool.SetTracer(cfg.Tracer)
+	}
 	var hubs []*core.Exchange
 	root, err := buildPassTree(w, cfg, &hubs)
 	if err != nil {
 		return PassResult{}, err
 	}
 	var sink *core.Instrumented
-	if cfg.Analyze {
-		sink = core.Instrument(root, "sink")
+	if cfg.Analyze || cfg.Tracer.Enabled() {
+		sink = core.Instrument(root, "sink").WithTracer(cfg.Tracer)
 		root = sink
 	}
 	poolBase := w.Pool.Stats()
@@ -162,6 +171,7 @@ func buildPassTree(w *World, cfg PassConfig, hubs *[]*core.Exchange) (core.Itera
 			FlowControl: cfg.FlowControl,
 			Slack:       cfg.Slack,
 			Inline:      cfg.Inline,
+			Tracer:      cfg.Tracer,
 			NewProducer: func(g int) (core.Iterator, error) { return lower(g) },
 		})
 		if err != nil {

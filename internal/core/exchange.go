@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // Exchange is Volcano's exchange module (paper, §4): the one operator that
@@ -26,6 +27,7 @@ import (
 type Exchange struct {
 	cfg    ExchangeConfig
 	port   *port
+	xid    int64 // distinguishes this hub's trace tracks
 	start  sync.Once
 	err    atomic.Value // first async error (type error)
 	closed int32        // consumers that have closed
@@ -106,6 +108,13 @@ type ExchangeConfig struct {
 	// of forking fresh ones (§4.2's planned improvement). The pool must
 	// have at least Producers workers available.
 	Pool *WorkerPool
+
+	// Tracer, when set, records the exchange protocol as structured trace
+	// events: producer spawn, packet push/pop (connected by flow arrows),
+	// flow-control token waits, end-of-stream tags and the shutdown
+	// handshake, one track per goroutine. nil disables tracing at the
+	// cost of one branch per event site.
+	Tracer *trace.Tracer
 }
 
 // NewExchange validates the configuration and creates the hub.
@@ -140,12 +149,32 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 	if cfg.Broadcast && cfg.NewPartition != nil {
 		return nil, errState("exchange", "broadcast and partitioning are mutually exclusive")
 	}
-	x := &Exchange{cfg: cfg}
+	x := &Exchange{cfg: cfg, xid: exchangeSeq.Add(1)}
 	// Flow control is meaningless (and a deadlock hazard) in inline mode:
 	// a member blocked on the semaphore could never drain its own queue.
 	fc := cfg.FlowControl && !cfg.Inline
 	x.port = newPort(cfg.Producers, cfg.Consumers, cfg.KeepStreams, fc, cfg.Slack)
 	return x, nil
+}
+
+// exchangeSeq numbers exchange hubs so the trace tracks of nested or
+// sibling exchanges stay distinguishable.
+var exchangeSeq atomic.Int64
+
+// producerTrack registers producer g's trace track (nil when untraced).
+func (x *Exchange) producerTrack(g int) *trace.Track {
+	if !x.cfg.Tracer.Enabled() {
+		return nil
+	}
+	return x.cfg.Tracer.NewTrack(fmt.Sprintf("x%d.producer%d", x.xid, g))
+}
+
+// consumerTrack registers consumer endpoint i's trace track.
+func (x *Exchange) consumerTrack(i int) *trace.Track {
+	if !x.cfg.Tracer.Enabled() {
+		return nil
+	}
+	return x.cfg.Tracer.NewTrack(fmt.Sprintf("x%d.consumer%d", x.xid, i))
 }
 
 // ExchangeStats reports exchange activity counters: data volume through
@@ -227,11 +256,16 @@ func (x *Exchange) ensureStarted() {
 			return // inline members run their own producers
 		}
 		x.port.producersDone.Add(x.cfg.Producers)
+		var mtk *trace.Track
+		if x.cfg.Tracer.Enabled() {
+			mtk = x.cfg.Tracer.NewTrack(fmt.Sprintf("x%d.master", x.xid))
+		}
 		begin := time.Now()
 		switch {
 		case x.cfg.Pool != nil:
 			for g := 0; g < x.cfg.Producers; g++ {
 				g := g
+				mtk.Instant1("exchange", "submit", "producer", int64(g))
 				x.cfg.Pool.Submit(func() { x.producerLoop(g) })
 			}
 		case x.cfg.Fork == ForkTree:
@@ -239,21 +273,25 @@ func (x *Exchange) ensureStarted() {
 			for i := range ids {
 				ids[i] = i
 			}
-			x.forkCall()
+			x.forkCall(mtk)
 			go x.spawnTree(ids)
 		default: // ForkCentral
 			for g := 0; g < x.cfg.Producers; g++ {
-				x.forkCall()
+				x.forkCall(mtk)
 				go x.producerLoop(g)
 			}
 		}
 		x.spawnTime.Add(int64(time.Since(begin)))
+		mtk.SpanAt1("exchange", "spawn", begin, time.Since(begin), "producers", int64(x.cfg.Producers))
 	})
 }
 
-// forkCall models one fork(2) invocation.
-func (x *Exchange) forkCall() {
+// forkCall models one fork(2) invocation, recorded as a fork instant on
+// the forking goroutine's track (master in the central scheme, interior
+// tree nodes in the propagation-tree scheme).
+func (x *Exchange) forkCall(tk *trace.Track) {
 	x.forks.Add(1)
+	tk.Instant("exchange", "fork")
 	if x.cfg.ForkCost > 0 {
 		time.Sleep(x.cfg.ForkCost)
 	}
@@ -261,39 +299,58 @@ func (x *Exchange) forkCall() {
 
 // spawnTree implements the propagation-tree forking scheme: the current
 // goroutine repeatedly forks half of its remaining range, then runs the
-// first producer itself.
+// first producer itself. Sub-forks are traced on the track of the
+// producer this goroutine will become, making the propagation tree
+// visible in the timeline.
 func (x *Exchange) spawnTree(ids []int) {
+	tk := x.producerTrack(ids[0])
 	for len(ids) > 1 {
 		mid := (len(ids) + 1) / 2
 		rest := ids[mid:]
 		ids = ids[:mid]
-		x.forkCall()
+		x.forkCall(tk)
 		go x.spawnTree(rest)
 	}
-	x.producerLoop(ids[0])
+	x.runProducer(ids[0], tk)
 }
 
-// producerLoop is the driver part of exchange (§4.1): it opens its
+// producerLoop registers the producer's trace track in its own goroutine
+// and runs the driver loop.
+func (x *Exchange) producerLoop(g int) {
+	x.runProducer(g, x.producerTrack(g))
+}
+
+// runProducer is the driver part of exchange (§4.1): it opens its
 // subtree, exhausts it with next, routes records into consumer queues in
 // packets, flags its last packet to each consumer with an end-of-stream
 // tag, waits for permission to close, and closes the subtree.
-func (x *Exchange) producerLoop(g int) {
+func (x *Exchange) runProducer(g int, tk *trace.Track) {
 	defer x.port.producersDone.Done()
+	var begin time.Time
+	if tk != nil {
+		begin = time.Now()
+		tk.Instant1("exchange", "producer-start", "producer", int64(g))
+	}
 	input, err := x.cfg.NewProducer(g)
 	if err == nil && input != nil && !input.Schema().Equal(x.cfg.Schema) {
 		err = fmt.Errorf("core: exchange: producer %d schema %s != %s", g, input.Schema(), x.cfg.Schema)
 	}
 	if err != nil {
 		x.setErr(err)
-		x.finishProducer(g, nil, nil)
+		x.finishProducer(g, nil, nil, tk)
 		return
 	}
 	if err := input.Open(); err != nil {
 		x.setErr(err)
-		x.finishProducer(g, nil, nil)
+		x.finishProducer(g, nil, nil, tk)
 		return
 	}
+	if tk != nil {
+		tk.SpanSince("exchange", "open-subtree", begin)
+	}
 	out := x.newOutbox(g)
+	out.tk = tk
+	var produced int64
 	for {
 		r, ok, nerr := input.Next()
 		if nerr != nil {
@@ -304,30 +361,44 @@ func (x *Exchange) producerLoop(g int) {
 			break
 		}
 		out.route(r)
+		produced++
 	}
-	x.finishProducer(g, out, input)
+	if tk != nil {
+		tk.SpanAt1("exchange", "produce", begin, time.Since(begin), "records", produced)
+	}
+	x.finishProducer(g, out, input, tk)
 }
 
 // finishProducer flushes, tags end-of-stream, performs the close
 // handshake, and closes the subtree.
-func (x *Exchange) finishProducer(g int, out *outbox, input Iterator) {
+func (x *Exchange) finishProducer(g int, out *outbox, input Iterator, tk *trace.Track) {
 	if out != nil {
 		out.flush(true)
 	} else {
 		// Error before the outbox existed: still deliver tagged packets.
-		for _, q := range x.port.queues {
-			q.push(&packet{eos: true, err: x.firstErr(), producer: g})
+		for c, q := range x.port.queues {
+			tk.Instant1("exchange", "eos", "consumer", int64(c))
+			q.push(&packet{eos: true, err: x.firstErr(), producer: g}, tk)
 			x.packetsSent.Add(1)
 		}
 	}
 	// Wait until the consumer allows closing all open files; necessary
 	// because files on virtual devices must not be closed before all
 	// their records are unpinned (§4.1).
+	var wait time.Time
+	if tk != nil {
+		wait = time.Now()
+	}
 	<-x.port.allowClose
+	if tk != nil {
+		tk.SpanSince("exchange", "await-close", wait)
+	}
 	if input != nil {
+		begin := time.Now()
 		if err := input.Close(); err != nil {
 			x.setErr(err)
 		}
+		tk.SpanSince("exchange", "close-subtree", begin)
 	}
 }
 
@@ -337,6 +408,7 @@ type outbox struct {
 	g       int
 	packets []*packet
 	part    expr.Partitioner
+	tk      *trace.Track // the owning goroutine's trace track (may be nil)
 }
 
 func (x *Exchange) newOutbox(g int) *outbox {
@@ -403,7 +475,14 @@ func (o *outbox) push(c int, eos bool) {
 	}
 	o.x.recordsSent.Add(int64(len(p.recs)))
 	o.x.packetsSent.Add(1)
-	o.x.port.queues[c].push(p)
+	if o.tk != nil {
+		p.flow = o.x.cfg.Tracer.NextFlowID()
+		o.tk.FlowOut("packet", "push", p.flow, "records", int64(len(p.recs)))
+		if eos {
+			o.tk.Instant1("exchange", "eos", "consumer", int64(c))
+		}
+	}
+	o.x.port.queues[c].push(p, o.tk)
 }
 
 // flush pushes all partial packets; with eos, every consumer receives a

@@ -3,20 +3,33 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // consumerClosed records one endpoint's shutdown. The last consumer to
 // close releases the semaphore that permits producers to shut down and —
 // in fork mode — waits for their acknowledgement (§4.1/§4.3: orderly,
-// self-scheduling shutdown of the whole tree).
-func (x *Exchange) consumerClosed() error {
+// self-scheduling shutdown of the whole tree). tk is the closing
+// endpoint's trace track: the allow-close release and the wait for the
+// producers' acknowledgement are the two halves of the shutdown
+// handshake made visible in the timeline.
+func (x *Exchange) consumerClosed(tk *trace.Track) error {
 	n := atomic.AddInt32(&x.closed, 1)
 	if int(n) == x.cfg.Consumers {
+		tk.Instant("exchange", "allow-close")
 		close(x.port.allowClose)
 		if !x.cfg.Inline {
+			var begin time.Time
+			if tk != nil {
+				begin = time.Now()
+			}
 			x.port.producersDone.Wait()
+			if tk != nil {
+				tk.SpanSince("exchange", "await-producers", begin)
+			}
 		}
 	}
 	return x.firstErr()
@@ -29,6 +42,7 @@ func (x *Exchange) consumerClosed() error {
 type xConsumer struct {
 	x   *Exchange
 	idx int
+	tk  *trace.Track
 
 	cur  *packet
 	pos  int
@@ -52,6 +66,9 @@ func (c *xConsumer) Open() error {
 	if c.idx < 0 || c.idx >= c.x.cfg.Consumers {
 		return errState("exchange", "consumer index out of range")
 	}
+	if c.tk == nil {
+		c.tk = c.x.consumerTrack(c.idx)
+	}
 	if c.x.cfg.Inline {
 		input, err := c.x.cfg.NewProducer(c.idx)
 		if err != nil {
@@ -62,6 +79,7 @@ func (c *xConsumer) Open() error {
 		}
 		c.input = input
 		c.out = c.x.newOutbox(c.idx)
+		c.out.tk = c.tk
 		c.inputDone = false
 	} else {
 		// The first consumer to open acts as the master and forks the
@@ -99,7 +117,7 @@ func (c *xConsumer) Next() (Rec, bool, error) {
 			}
 			continue
 		}
-		p := c.x.port.queues[c.idx].pop(c.x.cfg.Producers)
+		p := c.x.port.queues[c.idx].pop(c.x.cfg.Producers, c.tk)
 		if p == nil {
 			c.done = true
 			if err := c.x.firstErr(); err != nil {
@@ -107,6 +125,7 @@ func (c *xConsumer) Next() (Rec, bool, error) {
 			}
 			return Rec{}, false, nil
 		}
+		c.tk.FlowIn("packet", "pop", p.flow, "records", int64(len(p.recs)))
 		c.cur = p
 	}
 }
@@ -119,6 +138,7 @@ func (c *xConsumer) Next() (Rec, bool, error) {
 func (c *xConsumer) inlineStep() error {
 	q := c.x.port.queues[c.idx]
 	if p := q.tryPop(); p != nil {
+		c.tk.FlowIn("packet", "pop", p.flow, "records", int64(len(p.recs)))
 		c.cur = p
 		return nil
 	}
@@ -138,11 +158,12 @@ func (c *xConsumer) inlineStep() error {
 		c.out.route(r)
 		return nil
 	}
-	p := q.pop(c.x.cfg.Producers)
+	p := q.pop(c.x.cfg.Producers, c.tk)
 	if p == nil {
 		c.done = true
 		return c.x.firstErr()
 	}
+	c.tk.FlowIn("packet", "pop", p.flow, "records", int64(len(p.recs)))
 	c.cur = p
 	return nil
 }
@@ -167,10 +188,17 @@ func (c *xConsumer) Close() error {
 			c.inputDone = true
 		}
 		c.x.port.queues[c.idx].drain()
-		err := c.x.consumerClosed()
+		err := c.x.consumerClosed(c.tk)
 		// Wait until the whole group may close, then shut our subtree
 		// down: records we produced may still be pinned by peers.
+		var begin time.Time
+		if c.tk != nil {
+			begin = time.Now()
+		}
 		<-c.x.port.allowClose
+		if c.tk != nil {
+			c.tk.SpanSince("exchange", "await-close", begin)
+		}
 		if cerr := c.input.Close(); err == nil {
 			err = cerr
 		}
@@ -182,7 +210,7 @@ func (c *xConsumer) Close() error {
 	// the shutdown handshake.
 	c.x.ensureStarted()
 	c.x.port.queues[c.idx].drain()
-	return c.x.consumerClosed()
+	return c.x.consumerClosed(c.tk)
 }
 
 // streamGroup coordinates the per-producer stream endpoints of one
@@ -192,6 +220,10 @@ type streamGroup struct {
 	mu        sync.Mutex
 	remaining int
 	started   bool
+	// tk is the endpoint's shared trace track: every stream of one
+	// consumer runs in that consumer's goroutine, so sharing keeps the
+	// single-writer rule.
+	tk *trace.Track
 }
 
 // xStream is a single-producer stream of one consumer endpoint, used
@@ -217,6 +249,12 @@ func (s *xStream) Open() error {
 	if s.open {
 		return errState("exchange", "stream already open")
 	}
+	s.group.mu.Lock()
+	if !s.group.started {
+		s.group.started = true
+		s.group.tk = s.x.consumerTrack(s.consumer)
+	}
+	s.group.mu.Unlock()
 	s.x.ensureStarted()
 	s.cur, s.pos, s.done = nil, 0, false
 	s.open = true
@@ -243,7 +281,7 @@ func (s *xStream) Next() (Rec, bool, error) {
 		if s.done {
 			return Rec{}, false, nil
 		}
-		p := s.x.port.queues[s.consumer].popFrom(s.producer)
+		p := s.x.port.queues[s.consumer].popFrom(s.producer, s.group.tk)
 		if p == nil {
 			s.done = true
 			if err := s.x.firstErr(); err != nil {
@@ -251,6 +289,7 @@ func (s *xStream) Next() (Rec, bool, error) {
 			}
 			return Rec{}, false, nil
 		}
+		s.group.tk.FlowIn("packet", "pop", p.flow, "records", int64(len(p.recs)))
 		s.cur = p
 	}
 }
@@ -275,7 +314,7 @@ func (s *xStream) Close() error {
 		return nil
 	}
 	s.x.port.queues[s.consumer].drain()
-	return s.x.consumerClosed()
+	return s.x.consumerClosed(s.group.tk)
 }
 
 // WorkerPool is a set of primed processes (§4.2): goroutines that are

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // NetExchange is the shared-nothing variant of the exchange operator —
@@ -30,11 +31,21 @@ type NetExchange struct {
 	cfg   NetExchangeConfig
 	start sync.Once
 	err   atomic.Value
+	xid   int64
 
 	queues  []*netQueue
 	done    sync.WaitGroup
 	bytes   atomic.Int64
 	packets atomic.Int64
+	// Blocking-time counters, the network mirror of the in-process port's
+	// stall/wait pair: sendStall is time producers spent blocked on a full
+	// link (the bounded channel models the link's transmit window),
+	// recvWait is time consumers spent blocked waiting for a packet to
+	// arrive.
+	sendStall atomic.Int64
+	recvWait  atomic.Int64
+	// basePID is the first trace pid of this hub's sites (tracing only).
+	basePID int
 }
 
 // NetExchangeConfig is the state record of the shared-nothing exchange.
@@ -56,6 +67,12 @@ type NetExchangeConfig struct {
 	// Latency plus size/Bandwidth. Zero disables simulation.
 	Latency   time.Duration
 	Bandwidth int64 // bytes per second
+	// Tracer, when set, records the network protocol: wire-send and
+	// wire-recv instants with packet sizes, send-stall and recv-wait
+	// spans, and flow arrows from send to receive. Producer and consumer
+	// tracks live on distinct trace pids — one per site — because each
+	// group member models its own machine.
+	Tracer *trace.Tracer
 }
 
 // netPacket carries copied record images.
@@ -63,6 +80,7 @@ type netPacket struct {
 	recs [][]byte
 	eos  bool
 	err  error
+	flow int64 // trace flow-arrow id (0 when untraced)
 }
 
 // netQueue is one consumer's input queue (bounded channel: the bound acts
@@ -92,16 +110,59 @@ func NewNetExchange(cfg NetExchangeConfig) (*NetExchange, error) {
 	if cfg.PacketSize < 1 || cfg.PacketSize > 255 {
 		return nil, errState("netexchange", "packet size out of range 1..255")
 	}
-	n := &NetExchange{cfg: cfg}
+	n := &NetExchange{cfg: cfg, xid: exchangeSeq.Add(1)}
 	for c := 0; c < cfg.Consumers; c++ {
 		n.queues = append(n.queues, &netQueue{ch: make(chan *netPacket, 8)})
+	}
+	if cfg.Tracer.Enabled() {
+		// One trace pid per site: every group member models its own
+		// machine, so its track gets its own process in the trace viewer.
+		n.basePID = int(netSiteSeq.Add(int64(cfg.Producers+cfg.Consumers))) - cfg.Producers - cfg.Consumers + 1
+		for g := 0; g < cfg.Producers; g++ {
+			cfg.Tracer.NameProcess(n.producerPID(g), fmt.Sprintf("site:netx%d.p%d", n.xid, g))
+		}
+		for c := 0; c < cfg.Consumers; c++ {
+			cfg.Tracer.NameProcess(n.consumerPID(c), fmt.Sprintf("site:netx%d.c%d", n.xid, c))
+		}
 	}
 	return n, nil
 }
 
+// netSiteSeq allocates globally unique trace pids for sites so several
+// NetExchange hubs in one trace never share a pid.
+var netSiteSeq atomic.Int64
+
+func (n *NetExchange) producerPID(g int) int { return n.basePID + g }
+func (n *NetExchange) consumerPID(c int) int { return n.basePID + n.cfg.Producers + c }
+
 // Stats reports shipped volume.
 func (n *NetExchange) Stats() (packets, bytes int64) {
 	return n.packets.Load(), n.bytes.Load()
+}
+
+// NetExchangeStats mirrors ExchangeStats for the shared-nothing variant:
+// data volume over the wire plus the two blocking-time counters that
+// attribute pipeline imbalance across the network boundary.
+type NetExchangeStats struct {
+	Packets int64
+	Bytes   int64
+	// SendStall is cumulative time producers spent blocked on a full
+	// link (the transmit window), the network analogue of the in-process
+	// flow-control stall.
+	SendStall time.Duration
+	// RecvWait is cumulative time consumers spent blocked waiting for a
+	// packet to arrive.
+	RecvWait time.Duration
+}
+
+// NetStats returns a snapshot of all counters.
+func (n *NetExchange) NetStats() NetExchangeStats {
+	return NetExchangeStats{
+		Packets:   n.packets.Load(),
+		Bytes:     n.bytes.Load(),
+		SendStall: time.Duration(n.sendStall.Load()),
+		RecvWait:  time.Duration(n.recvWait.Load()),
+	}
 }
 
 func (n *NetExchange) setErr(err error) {
@@ -128,18 +189,25 @@ func (n *NetExchange) ensureStarted() {
 
 func (n *NetExchange) producerLoop(g int) {
 	defer n.done.Done()
+	var tk *trace.Track
+	var begin time.Time
+	if n.cfg.Tracer.Enabled() {
+		tk = n.cfg.Tracer.NewTrackOn(n.producerPID(g), fmt.Sprintf("netx%d.producer%d", n.xid, g))
+		begin = time.Now()
+		tk.Instant1("exchange", "producer-start", "producer", int64(g))
+	}
 	input, err := n.cfg.NewProducer(g)
 	if err == nil && input != nil && !input.Schema().Equal(n.cfg.Schema) {
 		err = fmt.Errorf("core: netexchange: producer %d schema %s != %s", g, input.Schema(), n.cfg.Schema)
 	}
 	if err != nil {
 		n.setErr(err)
-		n.broadcastEOS()
+		n.broadcastEOS(tk)
 		return
 	}
 	if err := input.Open(); err != nil {
 		n.setErr(err)
-		n.broadcastEOS()
+		n.broadcastEOS(tk)
 		return
 	}
 	out := make([]*netPacket, n.cfg.Consumers)
@@ -171,7 +239,24 @@ func (n *NetExchange) producerLoop(g int) {
 		n.simulateWire(size)
 		n.packets.Add(1)
 		n.bytes.Add(int64(size))
-		n.queues[c].ch <- p
+		if tk != nil {
+			p.flow = n.cfg.Tracer.NextFlowID()
+			tk.FlowOut("wire", "wire-send", p.flow, "bytes", int64(size))
+			if eos {
+				tk.Instant1("exchange", "eos", "consumer", int64(c))
+			}
+		}
+		// A full link (transmit window) blocks the producer; attribute
+		// the stall like the in-process flow-control semaphore does.
+		select {
+		case n.queues[c].ch <- p:
+		default:
+			start := time.Now()
+			n.queues[c].ch <- p
+			d := time.Since(start)
+			n.sendStall.Add(int64(d))
+			tk.SpanAt("flow", "send-stall", start, d)
+		}
 	}
 	add := func(c int, data []byte) {
 		p := out[c]
@@ -215,6 +300,9 @@ func (n *NetExchange) producerLoop(g int) {
 	for c := range out {
 		send(c, true)
 	}
+	if tk != nil {
+		tk.SpanAt1("exchange", "produce", begin, time.Since(begin), "packets", n.packets.Load())
+	}
 	// No shared buffer: nothing the consumers hold can reference this
 	// machine's memory, so the producer may close immediately — the
 	// shutdown handshake of the shared-memory exchange is unnecessary.
@@ -223,9 +311,10 @@ func (n *NetExchange) producerLoop(g int) {
 	}
 }
 
-func (n *NetExchange) broadcastEOS() {
-	for _, q := range n.queues {
+func (n *NetExchange) broadcastEOS(tk *trace.Track) {
+	for c, q := range n.queues {
 		n.packets.Add(1)
+		tk.Instant1("exchange", "eos", "consumer", int64(c))
 		q.ch <- &netPacket{eos: true, err: n.firstErr()}
 	}
 }
@@ -250,6 +339,7 @@ func (n *NetExchange) Consumer(c int) Iterator {
 type netConsumer struct {
 	x   *NetExchange
 	idx int
+	tk  *trace.Track
 
 	w    *ResultWriter
 	cur  *netPacket
@@ -278,6 +368,9 @@ func (c *netConsumer) Open() error {
 		return err
 	}
 	c.w = w
+	if c.tk == nil && c.x.cfg.Tracer.Enabled() {
+		c.tk = c.x.cfg.Tracer.NewTrackOn(c.x.consumerPID(c.idx), fmt.Sprintf("netx%d.consumer%d", c.x.xid, c.idx))
+	}
 	c.x.ensureStarted()
 	c.cur, c.pos, c.done = nil, 0, false
 	c.open = true
@@ -310,7 +403,17 @@ func (c *netConsumer) Next() (Rec, bool, error) {
 		if c.done {
 			return Rec{}, false, nil
 		}
-		p := <-q.ch
+		var p *netPacket
+		select {
+		case p = <-q.ch:
+		default:
+			start := time.Now()
+			p = <-q.ch
+			d := time.Since(start)
+			c.x.recvWait.Add(int64(d))
+			c.tk.SpanAt("flow", "recv-wait", start, d)
+		}
+		c.tk.FlowIn("wire", "wire-recv", p.flow, "records", int64(len(p.recs)))
 		if p.eos {
 			q.eos++
 			if q.eos == c.x.cfg.Producers {

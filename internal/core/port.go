@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // A port is the shared data structure the exchange operator creates for
@@ -20,6 +22,9 @@ type packet struct {
 	eos      bool
 	err      error
 	producer int
+	// flow is the trace flow-arrow id binding this packet's push event to
+	// its pop event; 0 when tracing is off.
+	flow int64
 }
 
 // portStats aggregates the port's blocking-time counters. Both sides are
@@ -75,8 +80,9 @@ func newQueue(producers int, keepStreams bool, flowControl bool, slack int, ps *
 // push inserts a packet and signals the consumer; with flow control it
 // then acquires a semaphore token, blocking if the producers are already
 // `slack` packets ahead ("after a producer has inserted a new packet into
-// the port, it must request the flow control semaphore", §4.1).
-func (q *queue) push(p *packet) {
+// the port, it must request the flow control semaphore", §4.1). tk is the
+// pushing producer's trace track (nil when tracing is off).
+func (q *queue) push(p *packet, tk *trace.Track) {
 	q.mu.Lock()
 	if q.closed {
 		// Consumer is gone: release the records instead of queueing them.
@@ -103,26 +109,31 @@ func (q *queue) push(p *packet) {
 	q.cond.Broadcast()
 	q.mu.Unlock()
 	if q.fc != nil && !p.eos {
-		q.takeToken()
+		q.takeToken(tk)
 	}
 }
 
 // takeToken acquires one flow-control token, recording the stall time if
-// the producer group is already `slack` packets ahead.
-func (q *queue) takeToken() {
+// the producer group is already `slack` packets ahead. A stall that
+// actually blocks is also recorded as a token-wait span on the producer's
+// trace track; the uncontended path emits nothing.
+func (q *queue) takeToken(tk *trace.Track) {
 	select {
 	case <-q.fc:
 	default:
 		start := time.Now()
 		<-q.fc
-		q.ps.producerStall.Add(int64(time.Since(start)))
+		d := time.Since(start)
+		q.ps.producerStall.Add(int64(d))
+		tk.SpanAt("flow", "token-wait", start, d)
 	}
 }
 
 // waitLocked blocks on the condition variable until ready() holds,
-// charging the blocked time to the consumer-wait counter. Callers hold
-// q.mu; ready is evaluated under it.
-func (q *queue) waitLocked(ready func() bool) {
+// charging the blocked time to the consumer-wait counter and — when it
+// actually blocks — recording a consumer-wait span on the caller's trace
+// track. Callers hold q.mu; ready is evaluated under it.
+func (q *queue) waitLocked(tk *trace.Track, ready func() bool) {
 	if ready() {
 		return
 	}
@@ -130,7 +141,9 @@ func (q *queue) waitLocked(ready func() bool) {
 	for !ready() {
 		q.cond.Wait()
 	}
-	q.ps.consumerWait.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	q.ps.consumerWait.Add(int64(d))
+	tk.SpanAt("flow", "consumer-wait", start, d)
 }
 
 // noteEOS records an end-of-stream tag. Callers hold q.mu.
@@ -144,9 +157,9 @@ func (q *queue) noteEOS(p *packet) {
 // pop removes the next packet from the shared FIFO, blocking until one is
 // available or all producers have delivered end-of-stream and the queue is
 // empty (returns nil).
-func (q *queue) pop(producers int) *packet {
+func (q *queue) pop(producers int, tk *trace.Track) *packet {
 	q.mu.Lock()
-	q.waitLocked(func() bool { return len(q.shared) > 0 || q.eosSeen >= producers })
+	q.waitLocked(tk, func() bool { return len(q.shared) > 0 || q.eosSeen >= producers })
 	var p *packet
 	if len(q.shared) > 0 {
 		p = q.shared[0]
@@ -161,9 +174,9 @@ func (q *queue) pop(producers int) *packet {
 
 // popFrom removes the next packet of one producer's stream (merge mode).
 // Returns nil when that stream has delivered end-of-stream and is empty.
-func (q *queue) popFrom(producer int) *packet {
+func (q *queue) popFrom(producer int, tk *trace.Track) *packet {
 	q.mu.Lock()
-	q.waitLocked(func() bool { return len(q.byProd[producer]) > 0 || q.eosByProd[producer] })
+	q.waitLocked(tk, func() bool { return len(q.byProd[producer]) > 0 || q.eosByProd[producer] })
 	var p *packet
 	if l := q.byProd[producer]; len(l) > 0 {
 		p = l[0]

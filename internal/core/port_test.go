@@ -11,10 +11,10 @@ import (
 func TestQueuePushPopFIFO(t *testing.T) {
 	q := newQueue(1, false, false, 0, &portStats{})
 	for i := 0; i < 5; i++ {
-		q.push(&packet{producer: i})
+		q.push(&packet{producer: i}, nil)
 	}
 	for i := 0; i < 5; i++ {
-		p := q.pop(1)
+		p := q.pop(1, nil)
 		if p == nil || p.producer != i {
 			t.Fatalf("pop %d = %+v", i, p)
 		}
@@ -23,13 +23,13 @@ func TestQueuePushPopFIFO(t *testing.T) {
 
 func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
 	q := newQueue(2, false, false, 0, &portStats{})
-	q.push(&packet{producer: 0, eos: true})
-	q.push(&packet{producer: 1, eos: true})
+	q.push(&packet{producer: 0, eos: true}, nil)
+	q.push(&packet{producer: 1, eos: true}, nil)
 	// Two tagged packets pop normally, then nil.
-	if q.pop(2) == nil || q.pop(2) == nil {
+	if q.pop(2, nil) == nil || q.pop(2, nil) == nil {
 		t.Fatal("tagged packets should pop")
 	}
-	if q.pop(2) != nil {
+	if q.pop(2, nil) != nil {
 		t.Fatal("pop after all EOS should be nil")
 	}
 }
@@ -39,8 +39,8 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 	// Two pushes consume both tokens without blocking.
 	done := make(chan struct{})
 	go func() {
-		q.push(&packet{})
-		q.push(&packet{})
+		q.push(&packet{}, nil)
+		q.push(&packet{}, nil)
 		close(done)
 	}()
 	select {
@@ -51,7 +51,7 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 	// The third push must block until a consumer pops.
 	third := make(chan struct{})
 	go func() {
-		q.push(&packet{})
+		q.push(&packet{}, nil)
 		close(third)
 	}()
 	select {
@@ -59,7 +59,7 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 		t.Fatal("push beyond slack did not block")
 	case <-time.After(20 * time.Millisecond):
 	}
-	if q.pop(1) == nil {
+	if q.pop(1, nil) == nil {
 		t.Fatal("pop failed")
 	}
 	select {
@@ -71,10 +71,10 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 
 func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
 	q := newQueue(1, false, true, 1, &portStats{})
-	q.push(&packet{}) // consumes the only token
+	q.push(&packet{}, nil) // consumes the only token
 	done := make(chan struct{})
 	go func() {
-		q.push(&packet{eos: true}) // must not block
+		q.push(&packet{eos: true}, nil) // must not block
 		close(done)
 	}()
 	select {
@@ -86,10 +86,10 @@ func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
 
 func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 	q := newQueue(1, false, true, 1, &portStats{})
-	q.push(&packet{})
+	q.push(&packet{}, nil)
 	blocked := make(chan struct{})
 	go func() {
-		q.push(&packet{})
+		q.push(&packet{}, nil)
 		close(blocked)
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -100,7 +100,7 @@ func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 		t.Fatal("drain did not unblock producer")
 	}
 	// Pushes after drain are discarded, but EOS still counts.
-	q.push(&packet{eos: true})
+	q.push(&packet{eos: true}, nil)
 	q.mu.Lock()
 	eos, nq := q.eosSeen, len(q.shared)
 	q.mu.Unlock()
@@ -111,21 +111,21 @@ func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 
 func TestQueueKeepStreamsPopFrom(t *testing.T) {
 	q := newQueue(2, true, false, 0, &portStats{})
-	q.push(&packet{producer: 1})
-	q.push(&packet{producer: 0})
-	q.push(&packet{producer: 1, eos: true})
-	q.push(&packet{producer: 0, eos: true})
+	q.push(&packet{producer: 1}, nil)
+	q.push(&packet{producer: 0}, nil)
+	q.push(&packet{producer: 1, eos: true}, nil)
+	q.push(&packet{producer: 0, eos: true}, nil)
 	// Stream 0 sees only producer 0's packets, in order.
-	if p := q.popFrom(0); p == nil || p.producer != 0 || p.eos {
+	if p := q.popFrom(0, nil); p == nil || p.producer != 0 || p.eos {
 		t.Fatalf("popFrom(0) = %+v", p)
 	}
-	if p := q.popFrom(0); p == nil || !p.eos {
+	if p := q.popFrom(0, nil); p == nil || !p.eos {
 		t.Fatal("expected producer 0 EOS")
 	}
-	if p := q.popFrom(0); p != nil {
+	if p := q.popFrom(0, nil); p != nil {
 		t.Fatal("stream 0 should be done")
 	}
-	if p := q.popFrom(1); p == nil || p.producer != 1 {
+	if p := q.popFrom(1, nil); p == nil || p.producer != 1 {
 		t.Fatal("stream 1 lost its packet")
 	}
 }
@@ -135,7 +135,7 @@ func TestQueueTryPop(t *testing.T) {
 	if q.tryPop() != nil {
 		t.Fatal("tryPop on empty queue returned a packet")
 	}
-	q.push(&packet{producer: 7})
+	q.push(&packet{producer: 7}, nil)
 	if p := q.tryPop(); p == nil || p.producer != 7 {
 		t.Fatalf("tryPop = %+v", p)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // OpStats holds one operator's runtime counters. All fields are atomic so
@@ -65,10 +66,20 @@ func (s OpStatsSnapshot) String() string {
 //
 // The uninstrumented path pays nothing: plans built without analysis never
 // allocate or touch an Instrumented.
+//
+// With a tracer attached (WithTracer) the wrapper additionally records
+// its Open, Next and Close calls as spans on a private trace track,
+// reusing the wall-time measurements it already takes for OpStats — so
+// tracing adds no extra clock reads, and a nil tracer costs one branch.
 type Instrumented struct {
 	inner Iterator
 	name  string
 	st    *OpStats
+
+	tracer    *trace.Tracer
+	tk        *trace.Track
+	openName  string
+	closeName string
 }
 
 // Instrument wraps it with a fresh, private OpStats.
@@ -79,6 +90,14 @@ func Instrument(it Iterator, name string) *Instrumented {
 // InstrumentWith wraps it updating the given (possibly shared) OpStats.
 func InstrumentWith(it Iterator, name string, st *OpStats) *Instrumented {
 	return &Instrumented{inner: it, name: name, st: st}
+}
+
+// WithTracer attaches a tracer: the wrapper's calls become spans on a
+// track registered at first Open (in the goroutine that runs the
+// operator, so parallel instances get one track each). Returns i.
+func (i *Instrumented) WithTracer(t *trace.Tracer) *Instrumented {
+	i.tracer = t
+	return i
 }
 
 // Name returns the label given at wrap time.
@@ -95,10 +114,17 @@ func (i *Instrumented) Schema() *record.Schema { return i.inner.Schema() }
 
 // Open implements Iterator.
 func (i *Instrumented) Open() error {
+	if i.tracer.Enabled() && i.tk == nil {
+		i.tk = i.tracer.NewTrack("op:" + i.name)
+		i.openName = i.name + ".open"
+		i.closeName = i.name + ".close"
+	}
 	start := time.Now()
 	err := i.inner.Open()
-	i.st.OpenNanos.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	i.st.OpenNanos.Add(int64(d))
 	i.st.Opens.Add(1)
+	i.tk.SpanAt("op", i.openName, start, d)
 	return err
 }
 
@@ -106,11 +132,13 @@ func (i *Instrumented) Open() error {
 func (i *Instrumented) Next() (Rec, bool, error) {
 	start := time.Now()
 	r, ok, err := i.inner.Next()
-	i.st.NextNanos.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	i.st.NextNanos.Add(int64(d))
 	i.st.NextCalls.Add(1)
 	if ok {
 		i.st.Rows.Add(1)
 	}
+	i.tk.SpanAt("op", i.name, start, d)
 	return r, ok, err
 }
 
@@ -118,7 +146,9 @@ func (i *Instrumented) Next() (Rec, bool, error) {
 func (i *Instrumented) Close() error {
 	start := time.Now()
 	err := i.inner.Close()
-	i.st.CloseNanos.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	i.st.CloseNanos.Add(int64(d))
 	i.st.Closes.Add(1)
+	i.tk.SpanAt("op", i.closeName, start, d)
 	return err
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/storage/buffer"
+	"repro/internal/trace"
 )
 
 // Analysis is the EXPLAIN ANALYZE collector: runtime statistics per plan
@@ -38,6 +39,10 @@ type NodeStats = core.OpStats
 // in a core.Instrumented adapter and every exchange hub is registered.
 // Inspect the returned Analysis after execution.
 func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysis, error) {
+	return buildAnalyzed(env, cat, n, nil)
+}
+
+func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
 	an := &Analysis{
 		root:  n,
 		stats: map[*Node]*core.OpStats{},
@@ -55,7 +60,7 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 		}
 	}
 	walk(n)
-	it, err := build(&buildCtx{env: env, cat: cat, analysis: an}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr}, n)
 	if err != nil {
 		return nil, nil, err
 	}

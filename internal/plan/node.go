@@ -13,6 +13,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/storage/btree"
 	"repro/internal/storage/file"
+	"repro/internal/trace"
 )
 
 // Kind enumerates plan node types.
@@ -190,8 +191,9 @@ func (v VolumeCatalog) LookupIndex(name string) (*btree.Tree, error) {
 type buildCtx struct {
 	env       *core.Env
 	cat       Catalog
-	partition int       // current producer index (for partitioned scans)
-	analysis  *Analysis // non-nil when instrumenting (BuildAnalyzed)
+	partition int           // current producer index (for partitioned scans)
+	analysis  *Analysis     // non-nil when instrumenting (BuildAnalyzed)
+	tracer    *trace.Tracer // non-nil when event tracing (BuildTraced)
 }
 
 // Build instantiates the plan into an iterator tree.
@@ -199,17 +201,43 @@ func Build(env *core.Env, cat Catalog, n *Node) (core.Iterator, error) {
 	return build(&buildCtx{env: env, cat: cat}, n)
 }
 
+// BuildTraced is Build with event tracing: every operator is wrapped in
+// an instrumentation adapter recording open/next/close spans onto the
+// tracer, and every exchange (and the producer subtrees it forks at run
+// time) emits its protocol events — spawn, packet push/pop, token waits,
+// end-of-stream, shutdown handshake — onto per-goroutine tracks.
+func BuildTraced(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, error) {
+	return build(&buildCtx{env: env, cat: cat, tracer: tr}, n)
+}
+
+// BuildAnalyzedTraced combines EXPLAIN ANALYZE instrumentation with
+// event tracing; the two share one set of wrappers, so the trace and the
+// aggregate counters describe exactly the same run.
+func BuildAnalyzedTraced(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
+	return buildAnalyzed(env, cat, n, tr)
+}
+
 // build instantiates one node, adding instrumentation when requested.
 func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	it, err := buildNode(ctx, n)
-	if err != nil || ctx.analysis == nil {
+	if err != nil {
 		return it, err
 	}
-	st := ctx.analysis.stats[n]
-	if st == nil {
-		return it, nil
+	if ctx.analysis != nil {
+		st := ctx.analysis.stats[n]
+		if st == nil {
+			return it, nil
+		}
+		inst := core.InstrumentWith(it, n.Kind.String(), st)
+		if ctx.tracer.Enabled() {
+			inst.WithTracer(ctx.tracer)
+		}
+		return inst, nil
 	}
-	return core.InstrumentWith(it, n.Kind.String(), st), nil
+	if ctx.tracer.Enabled() {
+		return core.Instrument(it, n.Kind.String()).WithTracer(ctx.tracer), nil
+	}
+	return it, nil
 }
 
 func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
@@ -439,8 +467,9 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		KeepStreams: o.KeepStreams,
 		Fork:        o.Fork,
 		ForkCost:    o.ForkCost,
+		Tracer:      ctx.tracer,
 		NewProducer: func(g int) (core.Iterator, error) {
-			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis}, n.Inputs[0])
+			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer}, n.Inputs[0])
 		},
 	}
 	if cfg.Consumers == 0 {

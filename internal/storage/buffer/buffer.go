@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/record"
 	"repro/internal/storage/device"
+	"repro/internal/trace"
 )
 
 // LockMode selects the pool's locking discipline.
@@ -120,6 +121,15 @@ type Pool struct {
 	daemonReads, daemonWrites     int64
 
 	daemon *daemon
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches a tracer for buffer-daemon activity. Call before
+// StartDaemons; daemons started earlier keep running untraced.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	p.mu.Lock()
+	p.tracer = t
+	p.mu.Unlock()
 }
 
 // NewPool creates a pool of nframes frames over the given device registry.

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/record"
+	"repro/internal/trace"
 )
 
 // The read-ahead/write-behind daemon (paper, §4.5): one or more daemon
@@ -46,10 +48,12 @@ func (p *Pool) StartDaemons(n int) error {
 	}
 	d := &daemon{queue: make(chan daemonReq, 256), n: n}
 	p.daemon = d
+	tr := p.tracer
 	p.mu.Unlock()
 	d.wg.Add(n)
 	for i := 0; i < n; i++ {
-		go p.daemonLoop(d)
+		i := i
+		go p.daemonLoop(d, i, tr)
 	}
 	return nil
 }
@@ -98,26 +102,53 @@ func (p *Pool) RequestReadAhead(pid record.PageID) {
 	}
 }
 
-func (p *Pool) daemonLoop(d *daemon) {
+// daemonLoop serves work requests. With a tracer attached each daemon
+// gets its own track, so buffer-daemon activity (asynchronous flushes and
+// read-aheads overlapping query work) shows up in the merged timeline.
+func (p *Pool) daemonLoop(d *daemon, idx int, tr *trace.Tracer) {
 	defer d.wg.Done()
+	var tk *trace.Track
+	if tr.Enabled() {
+		tk = tr.NewTrack(fmt.Sprintf("buffer.daemon%d", idx))
+	}
 	for req := range d.queue {
 		switch req.op {
 		case opQuit:
+			tk.Instant("buffer", "quit")
 			return
 		case opFlush:
+			var begin time.Time
+			if tk != nil {
+				begin = time.Now()
+			}
 			if err := p.FlushPage(req.pid); err == nil {
 				atomic.AddInt64(&p.daemonWrites, 1)
+			}
+			if tk != nil {
+				tk.SpanAt1("buffer", "flush", begin, time.Since(begin), "page", pageArg(req.pid))
 			}
 		case opReadAhead:
 			// Fix + immediate clean unfix: the cluster lands in the buffer
 			// and joins the replaceable chain. "The cluster remains in the
 			// buffer using the normal aging process."
+			var begin time.Time
+			if tk != nil {
+				begin = time.Now()
+			}
 			f, err := p.Fix(req.pid)
 			if err != nil {
 				continue
 			}
 			atomic.AddInt64(&p.daemonReads, 1)
 			p.Unfix(f, false)
+			if tk != nil {
+				tk.SpanAt1("buffer", "read-ahead", begin, time.Since(begin), "page", pageArg(req.pid))
+			}
 		}
 	}
+}
+
+// pageArg flattens a PageID into one numeric trace argument.
+func pageArg(pid record.PageID) int64 {
+	return int64(pid.Dev)<<32 | int64(pid.Page)
 }

@@ -1,0 +1,62 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDaemonTraceEvents checks that with a tracer attached every daemon
+// records its own track with flush, read-ahead and quit events.
+func TestDaemonTraceEvents(t *testing.T) {
+	p, _, diskID, _ := env(t, 8, TwoLevel)
+	tr := trace.New()
+	p.SetTracer(tr)
+	if err := p.StartDaemons(2); err != nil {
+		t.Fatal(err)
+	}
+	f, pid, err := p.FixNew(diskID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data(), "traced")
+	p.Unfix(f, true)
+	p.RequestFlush(pid)
+	p.StopDaemons()
+
+	// Evict the page, then bring it back via a traced read-ahead.
+	for i := 0; i < 16; i++ {
+		g, _, err := p.FixNew(diskID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unfix(g, true)
+	}
+	if err := p.StartDaemons(1); err != nil {
+		t.Fatal(err)
+	}
+	p.RequestReadAhead(pid)
+	p.StopDaemons()
+
+	names := map[string]int{}
+	tracks := map[string]bool{}
+	for _, s := range tr.Snapshot() {
+		tracks[s.Name] = true
+		for _, e := range s.Events {
+			names[e.Name]++
+		}
+	}
+	for _, want := range []string{"flush", "read-ahead", "quit"} {
+		if names[want] == 0 {
+			t.Errorf("no %q event recorded; got %v", want, names)
+		}
+	}
+	// Two daemons in the first generation, one in the second; each owns a
+	// track (track names repeat across generations by index).
+	if !tracks["buffer.daemon0"] || !tracks["buffer.daemon1"] {
+		t.Errorf("daemon tracks missing: %v", tracks)
+	}
+	if names["quit"] != 3 {
+		t.Errorf("quit events = %d, want 3 (one per daemon per generation)", names["quit"])
+	}
+}
