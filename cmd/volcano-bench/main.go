@@ -11,6 +11,8 @@
 //	volcano-bench -records 20000       # smaller/faster runs
 //	volcano-bench -json BENCH.json     # also emit machine-readable results
 //	volcano-bench -trace out.json      # also record one traced pipeline pass
+//	volcano-bench -analyze             # also run one instrumented pipeline pass
+//	volcano-bench -metrics :9898       # serve /metrics + pprof during the run
 package main
 
 import (
@@ -20,35 +22,125 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/storage/btree"
+	"repro/internal/storage/device"
 	"repro/internal/trace"
 )
 
+// observabilityHelp documents how the observability flags compose;
+// appended to -help output (the volcano CLI carries the same table).
+const observabilityHelp = `
+Observability flags (compose freely):
+
+  flag           output                                       cost when off
+  -analyze       one instrumented pipeline pass: per-stage    none (measured
+                 port counters plus sink Next-latency         passes stay
+                 p50/p95/p99; summarised in the -json report  uninstrumented)
+  -trace FILE    one traced pipeline pass written as Chrome   none (nil tracer
+                 trace-event JSON; open in Perfetto           is a no-op)
+  -metrics ADDR  live HTTP endpoint for the whole run: GET    none (nil registry
+                 /metrics serves Prometheus text exposition,  is a no-op)
+                 /debug/pprof the standard Go profiles
+
+All three may be given together: the run then produces the breakdown,
+the trace file, and a scrapeable endpoint at once.
+`
+
+// options carries one invocation's parameters; flags fill one in,
+// tests construct them directly.
+type options struct {
+	exp      string
+	records  int
+	joinRows int
+	jsonPath string
+	// tracePath records one traced pipeline pass as Chrome trace JSON.
+	tracePath string
+	// analyze runs one instrumented pipeline pass and prints its
+	// breakdown; the latency summary also lands in the -json report.
+	analyze bool
+	// metricsAddr serves /metrics and /debug/pprof for the duration of
+	// the run. The analyzed pass (if any) registers its buffer pool and
+	// sink histogram there, so a scrape covers every metric family.
+	metricsAddr string
+	// linger keeps the metrics endpoint serving this long after the
+	// experiments finish. Small record counts complete in well under a
+	// second; the linger window guarantees an external scraper (CI, a
+	// curl loop) lands at least one successful GET against the live
+	// process.
+	linger time.Duration
+
+	// metricsHook, when set, is called with the live listener address
+	// after all experiments have run but before the server shuts down.
+	// Test seam: lets a test scrape a fully populated endpoint.
+	metricsHook func(addr string)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: t1, fig2a, fig2b, ablations, all")
-	records := flag.Int("records", bench.PaperRecords, "records for the record-passing program")
-	joinRows := flag.Int("joinrows", 20000, "rows per side for the match ablation")
-	jsonPath := flag.String("json", "", "write machine-readable results (stable schema) to this file")
-	tracePath := flag.String("trace", "", "run one traced pipeline pass and write Chrome trace-event JSON to this file")
+	var o options
+	flag.StringVar(&o.exp, "exp", "all", "experiment: t1, fig2a, fig2b, ablations, all")
+	flag.IntVar(&o.records, "records", bench.PaperRecords, "records for the record-passing program")
+	flag.IntVar(&o.joinRows, "joinrows", 20000, "rows per side for the match ablation")
+	flag.StringVar(&o.jsonPath, "json", "", "write machine-readable results (stable schema) to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "run one traced pipeline pass and write Chrome trace-event JSON to this file")
+	flag.BoolVar(&o.analyze, "analyze", false, "run one instrumented pipeline pass and print the per-stage breakdown with latency quantiles")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics (Prometheus text exposition) and /debug/pprof on this address during the run")
+	flag.DurationVar(&o.linger, "linger", 0, "with -metrics, keep the endpoint serving this long after the experiments finish (gives scrapers a guaranteed window)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: volcano-bench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprint(out, observabilityHelp)
+	}
 	flag.Parse()
 
-	if err := run(*exp, *records, *joinRows, *jsonPath, *tracePath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "volcano-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
+func run(o options) error {
 	w := os.Stdout
-	runT1 := exp == "t1" || exp == "all"
-	runFig2 := exp == "fig2a" || exp == "fig2b" || exp == "all"
-	runAbl := exp == "ablations" || exp == "all"
+	runT1 := o.exp == "t1" || o.exp == "all"
+	runFig2 := o.exp == "fig2a" || o.exp == "fig2b" || o.exp == "all"
+	runAbl := o.exp == "ablations" || o.exp == "all"
 	if !runT1 && !runFig2 && !runAbl {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
-	report := bench.NewReport(records)
+	report := bench.NewReport(o.records)
+
+	var mr *metrics.Registry
+	var msrv *metrics.Server
+	if o.metricsAddr != "" {
+		mr = metrics.NewRegistry()
+		device.RegisterMetrics(mr)
+		btree.RegisterMetrics(mr)
+		core.RegisterMetrics(mr)
+		var err error
+		msrv, err = metrics.Serve(o.metricsAddr, mr)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on http://%s\n", msrv.Addr)
+	}
+
+	// The analyzed pass runs first so a scraper attached from the start
+	// sees the buffer and operator-latency families straight away.
+	if o.analyze {
+		res, err := bench.RunAnalyzedPass(o.records, mr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Analyzed pipeline pass (%d records, %v):\n%s\n\n",
+			res.Records, res.Elapsed, res.Breakdown)
+		report.AnalyzedPass = res.JSON()
+	}
 
 	if runT1 {
-		r, err := bench.RunT1(records)
+		r, err := bench.RunT1(o.records)
 		if err != nil {
 			return err
 		}
@@ -58,7 +150,7 @@ func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
 	}
 
 	if runFig2 {
-		r, err := bench.RunFig2(records)
+		r, err := bench.RunFig2(o.records)
 		if err != nil {
 			return err
 		}
@@ -74,18 +166,18 @@ func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
 			f    func() (*bench.Ablation, error)
 		}
 		abls := []namedAbl{
-			{"A1", func() (*bench.Ablation, error) { return bench.AblationFlowControl(records) }},
+			{"A1", func() (*bench.Ablation, error) { return bench.AblationFlowControl(o.records) }},
 			{"A2", func() (*bench.Ablation, error) { return bench.AblationForkScheme(8, 2*time.Millisecond) }},
-			{"A3", func() (*bench.Ablation, error) { return bench.AblationInline(records) }},
-			{"A4", func() (*bench.Ablation, error) { return bench.AblationPartitioning(records) }},
-			{"A5", func() (*bench.Ablation, error) { return bench.AblationBroadcast(records / 2) }},
-			{"A6", func() (*bench.Ablation, error) { return bench.AblationMatch(joinRows) }},
+			{"A3", func() (*bench.Ablation, error) { return bench.AblationInline(o.records) }},
+			{"A4", func() (*bench.Ablation, error) { return bench.AblationPartitioning(o.records) }},
+			{"A5", func() (*bench.Ablation, error) { return bench.AblationBroadcast(o.records / 2) }},
+			{"A6", func() (*bench.Ablation, error) { return bench.AblationMatch(o.joinRows) }},
 			{"A7", func() (*bench.Ablation, error) { return bench.AblationDivision(2000, 16, 4) }},
-			{"A8", func() (*bench.Ablation, error) { return bench.AblationSupportFunctions(records) }},
-			{"A9", func() (*bench.Ablation, error) { return bench.AblationBufferLocking(records, 8) }},
-			{"A10", func() (*bench.Ablation, error) { return bench.AblationParallelSort(records, 4) }},
-			{"A11", func() (*bench.Ablation, error) { return bench.AblationSharedNothing(records, 500*time.Microsecond) }},
-			{"A12", func() (*bench.Ablation, error) { return bench.AblationRunGeneration(records, 1024) }},
+			{"A8", func() (*bench.Ablation, error) { return bench.AblationSupportFunctions(o.records) }},
+			{"A9", func() (*bench.Ablation, error) { return bench.AblationBufferLocking(o.records, 8) }},
+			{"A10", func() (*bench.Ablation, error) { return bench.AblationParallelSort(o.records, 4) }},
+			{"A11", func() (*bench.Ablation, error) { return bench.AblationSharedNothing(o.records, 500*time.Microsecond) }},
+			{"A12", func() (*bench.Ablation, error) { return bench.AblationRunGeneration(o.records, 1024) }},
 		}
 		for _, na := range abls {
 			a, err := na.f()
@@ -98,13 +190,13 @@ func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
 		}
 	}
 
-	if tracePath != "" {
-		if err := runTraced(records, tracePath); err != nil {
+	if o.tracePath != "" {
+		if err := runTraced(o.records, o.tracePath); err != nil {
 			return err
 		}
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
 		if err != nil {
 			return fmt.Errorf("writing report: %w", err)
 		}
@@ -116,7 +208,14 @@ func run(exp string, records, joinRows int, jsonPath, tracePath string) error {
 		if cerr != nil {
 			return fmt.Errorf("writing report: %w", cerr)
 		}
-		fmt.Fprintf(os.Stderr, "results written to %s\n", jsonPath)
+		fmt.Fprintf(os.Stderr, "results written to %s\n", o.jsonPath)
+	}
+	if msrv != nil && o.metricsHook != nil {
+		o.metricsHook(msrv.Addr)
+	}
+	if msrv != nil && o.linger > 0 {
+		fmt.Fprintf(os.Stderr, "metrics: lingering %v for scrapers\n", o.linger)
+		time.Sleep(o.linger)
 	}
 	return nil
 }

@@ -24,8 +24,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/record"
+	"repro/internal/storage/btree"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/device"
 	"repro/internal/storage/file"
@@ -37,32 +39,90 @@ type repeated []string
 func (r *repeated) String() string     { return strings.Join(*r, ",") }
 func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
 
+// observabilityHelp documents how the three observability flags compose;
+// appended to -help output by both this command and volcano-bench.
+const observabilityHelp = `
+Observability flags (compose freely):
+
+  flag           output                                       cost when off
+  -analyze       EXPLAIN ANALYZE report on stderr: rows,      none (plans built
+                 calls, open/next/close times and p50/p95/    without wrappers)
+                 p99 Next latency per operator
+  -trace FILE    Chrome trace-event JSON of the run: the      none (nil tracer
+                 exchange protocol, operator calls, buffer    is a no-op)
+                 daemons; open in Perfetto
+  -metrics ADDR  live HTTP endpoint for the run: GET          none (nil registry
+                 /metrics serves Prometheus text exposition   is a no-op)
+                 (buffer, device, btree, exchange and
+                 operator-latency families), /debug/pprof
+                 serves the standard Go profiles
+
+All three may be given together: one run then produces the analyze
+report, the trace file, and a scrapeable endpoint at once.
+`
+
+// options carries everything a volcano invocation needs; flags in main
+// fill one in, tests construct them directly.
+type options struct {
+	planFile  string
+	query     string
+	frames    int
+	explain   bool
+	analyze   bool
+	maxRows   int
+	db        string
+	dbPages   int
+	tracePath string
+	// metricsAddr, when non-empty, serves /metrics and /debug/pprof on
+	// that address for the duration of the run. The query is built with
+	// the observed plan builder so operator latency histograms appear in
+	// the exposition.
+	metricsAddr string
+	schemas     []string
+	loads       []string
+	partitions  []string
+
+	// metricsHook, when set, is called with the live listener address
+	// after the query has run but before the server shuts down. Test
+	// seam: lets a test scrape a fully populated endpoint.
+	metricsHook func(addr string)
+}
+
 func main() {
+	var o options
 	var schemas, loads, partitions repeated
-	planFile := flag.String("plan", "", "file containing the plan script")
-	query := flag.String("q", "", "inline plan script")
-	frames := flag.Int("frames", 4096, "buffer pool frames")
-	explain := flag.Bool("explain", false, "print the plan instead of running it")
-	analyze := flag.Bool("analyze", false, "after running, print the plan with per-operator statistics")
-	maxRows := flag.Int("maxrows", 0, "print at most this many rows (0 = all)")
-	db := flag.String("db", "", "durable database file: created if absent, loaded tables persist")
-	dbPages := flag.Int("dbpages", 1<<18, "capacity in pages when creating a new -db file")
-	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	flag.StringVar(&o.planFile, "plan", "", "file containing the plan script")
+	flag.StringVar(&o.query, "q", "", "inline plan script")
+	flag.IntVar(&o.frames, "frames", 4096, "buffer pool frames")
+	flag.BoolVar(&o.explain, "explain", false, "print the plan instead of running it")
+	flag.BoolVar(&o.analyze, "analyze", false, "after running, print the plan with per-operator statistics")
+	flag.IntVar(&o.maxRows, "maxrows", 0, "print at most this many rows (0 = all)")
+	flag.StringVar(&o.db, "db", "", "durable database file: created if absent, loaded tables persist")
+	flag.IntVar(&o.dbPages, "dbpages", 1<<18, "capacity in pages when creating a new -db file")
+	flag.StringVar(&o.tracePath, "trace", "", "record the run and write Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve /metrics (Prometheus text exposition) and /debug/pprof on this address during the run")
 	flag.Var(&schemas, "schema", "table schema: name=field:type,... (repeatable)")
 	flag.Var(&loads, "load", "load CSV: name=path (repeatable; needs -schema for name)")
 	flag.Var(&partitions, "partition", "split a table: name:k (repeatable)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: volcano [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprint(out, observabilityHelp)
+	}
 	flag.Parse()
+	o.schemas, o.loads, o.partitions = schemas, loads, partitions
 
-	if err := run(*planFile, *query, *frames, *explain, *analyze, *maxRows, *db, *dbPages, *tracePath, schemas, loads, partitions); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "volcano:", err)
 		os.Exit(1)
 	}
 }
 
-func run(planFile, query string, frames int, explain, analyze bool, maxRows int, db string, dbPages int, tracePath string, schemas, loads, partitions []string) error {
-	script := query
-	if planFile != "" {
-		b, err := os.ReadFile(planFile)
+func run(o options) error {
+	script := o.query
+	if o.planFile != "" {
+		b, err := os.ReadFile(o.planFile)
 		if err != nil {
 			return err
 		}
@@ -75,7 +135,7 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	if err != nil {
 		return err
 	}
-	if explain {
+	if o.explain {
 		fmt.Print(plan.Explain(node))
 		return nil
 	}
@@ -84,11 +144,11 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	// volume; otherwise a throwaway memory volume.
 	reg := device.NewRegistry()
 	baseID := reg.NextID()
-	durable := db != ""
+	durable := o.db != ""
 	created := false
 	if durable {
-		if _, statErr := os.Stat(db); statErr != nil {
-			d, err := device.NewDisk(baseID, db, uint32(dbPages))
+		if _, statErr := os.Stat(o.db); statErr != nil {
+			d, err := device.NewDisk(baseID, o.db, uint32(o.dbPages))
 			if err != nil {
 				return err
 			}
@@ -97,7 +157,7 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 				return err
 			}
 		} else {
-			d, err := device.OpenDisk(baseID, db)
+			d, err := device.OpenDisk(baseID, o.db)
 			if err != nil {
 				return err
 			}
@@ -113,11 +173,26 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 		return err
 	}
 	defer reg.CloseAll()
-	pool := buffer.NewPool(reg, frames, buffer.TwoLevel)
+	pool := buffer.NewPool(reg, o.frames, buffer.TwoLevel)
 	var tracer *trace.Tracer
-	if tracePath != "" {
+	if o.tracePath != "" {
 		tracer = trace.New()
 		pool.SetTracer(tracer)
+	}
+	var mr *metrics.Registry
+	var msrv *metrics.Server
+	if o.metricsAddr != "" {
+		mr = metrics.NewRegistry()
+		pool.RegisterMetrics(mr)
+		device.RegisterMetrics(mr)
+		btree.RegisterMetrics(mr)
+		core.RegisterMetrics(mr)
+		msrv, err = metrics.Serve(o.metricsAddr, mr)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on http://%s\n", msrv.Addr)
 	}
 	var base *file.Volume
 	switch {
@@ -131,14 +206,14 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 		if base, err = file.OpenVolume(pool, baseID); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "database %s: %d tables, %d indexes\n", db, len(base.List()), len(base.Indexes()))
+		fmt.Fprintf(os.Stderr, "database %s: %d tables, %d indexes\n", o.db, len(base.List()), len(base.Indexes()))
 	default:
 		base = file.NewVolume(pool, baseID)
 	}
 	env := core.NewEnv(pool, file.NewVolume(pool, tempID))
 
 	schemaByName := map[string]*record.Schema{}
-	for _, s := range schemas {
+	for _, s := range o.schemas {
 		name, spec, ok := strings.Cut(s, "=")
 		if !ok {
 			return fmt.Errorf("bad -schema %q (want name=field:type,...)", s)
@@ -151,7 +226,7 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	}
 
 	cat := plan.VolumeCatalog{base}
-	for _, l := range loads {
+	for _, l := range o.loads {
 		name, path, ok := strings.Cut(l, "=")
 		if !ok {
 			return fmt.Errorf("bad -load %q (want name=path)", l)
@@ -167,7 +242,7 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 		fmt.Fprintf(os.Stderr, "loaded %s: %d records, %d pages\n", name, f.Records(), f.Pages())
 	}
 
-	for _, p := range partitions {
+	for _, p := range o.partitions {
 		name, kstr, ok := strings.Cut(p, ":")
 		k, err := strconv.Atoi(kstr)
 		if !ok || err != nil || k < 1 {
@@ -186,9 +261,11 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 	var it core.Iterator
 	var analysis *plan.Analysis
 	switch {
-	case analyze:
+	case o.analyze || mr.Enabled():
+		// -metrics implies the observed build even without -analyze: the
+		// operator-latency histograms live in the registry's children.
 		var err error
-		it, analysis, err = plan.BuildAnalyzedTraced(env, cat, node, tracer)
+		it, analysis, err = plan.BuildObserved(env, cat, node, tracer, mr)
 		if err != nil {
 			return err
 		}
@@ -205,14 +282,14 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 			return err
 		}
 	}
-	if err := printResult(it, maxRows); err != nil {
+	if err := printResult(it, o.maxRows); err != nil {
 		return err
 	}
-	if analysis != nil {
+	if analysis != nil && o.analyze {
 		fmt.Fprint(os.Stderr, analysis.String())
 	}
 	if tracer.Enabled() {
-		if err := writeTrace(tracer, tracePath); err != nil {
+		if err := writeTrace(tracer, o.tracePath); err != nil {
 			return err
 		}
 	}
@@ -220,7 +297,10 @@ func run(planFile, query string, frames int, explain, analyze bool, maxRows int,
 		if err := base.Save(); err != nil {
 			return fmt.Errorf("saving database: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "database saved to %s\n", db)
+		fmt.Fprintf(os.Stderr, "database saved to %s\n", o.db)
+	}
+	if msrv != nil && o.metricsHook != nil {
+		o.metricsHook(msrv.Addr)
 	}
 	return nil
 }

@@ -3,10 +3,13 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // captureStderr runs f with os.Stderr redirected to a pipe and returns
@@ -49,16 +52,19 @@ const empCSV = "0,0,1000.5,alice\n1,1,2000.0,bob\n2,0,3000.25,carol\n3,1,4000.0,
 
 func TestRunInMemoryQuery(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
-	err := run("", "scan emp | filter dept = 0 | sort salary desc", 256, false, false, 0, "", 0, "",
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, nil)
+	err := run(options{
+		query:   "scan emp | filter dept = 0 | sort salary desc",
+		frames:  256,
+		schemas: []string{"emp=id:int,dept:int,salary:float,name:string"},
+		loads:   []string{"emp=" + csv},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplainOnly(t *testing.T) {
-	if err := run("", "scan emp | sort id", 256, true, false, 0, "", 0, "", nil, nil, nil); err != nil {
+	if err := run(options{query: "scan emp | sort id", frames: 256, explain: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -66,9 +72,13 @@ func TestRunExplainOnly(t *testing.T) {
 func TestRunAnalyze(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	out := captureStderr(t, func() error {
-		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0, "",
-			[]string{"emp=id:int,dept:int,salary:float,name:string"},
-			[]string{"emp=" + csv}, nil)
+		return run(options{
+			query:   "scan emp | agg group dept compute count",
+			frames:  256,
+			analyze: true,
+			schemas: []string{"emp=id:int,dept:int,salary:float,name:string"},
+			loads:   []string{"emp=" + csv},
+		})
 	})
 	// Per-operator lines carry row counts, Next calls, and wall times.
 	for _, want := range []string{"scan emp", "rows=4", "calls=", "next=", "buffer: fixes=", "pins balanced"} {
@@ -81,10 +91,14 @@ func TestRunAnalyze(t *testing.T) {
 func TestRunAnalyzeParallelExchangeCounters(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	out := captureStderr(t, func() error {
-		return run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
-			512, false, true, 0, "", 0, "",
-			[]string{"emp=id:int,dept:int,salary:float,name:string"},
-			[]string{"emp=" + csv}, []string{"emp:2"})
+		return run(options{
+			query:      "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+			frames:     512,
+			analyze:    true,
+			schemas:    []string{"emp=id:int,dept:int,salary:float,name:string"},
+			loads:      []string{"emp=" + csv},
+			partitions: []string{"emp:2"},
+		})
 	})
 	// The exchange node reports port activity: packets, records crossed,
 	// producer forks, flow-control stall and consumer wait.
@@ -97,10 +111,13 @@ func TestRunAnalyzeParallelExchangeCounters(t *testing.T) {
 
 func TestRunPartitionedParallelQuery(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
-	err := run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
-		512, false, false, 0, "", 0, "",
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, []string{"emp:2"})
+	err := run(options{
+		query:      "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+		frames:     512,
+		schemas:    []string{"emp=id:int,dept:int,salary:float,name:string"},
+		loads:      []string{"emp=" + csv},
+		partitions: []string{"emp:2"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +126,14 @@ func TestRunPartitionedParallelQuery(t *testing.T) {
 func TestRunTracedParallelQuery(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
-	err := run("", "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
-		512, false, false, 0, "", 0, tracePath,
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, []string{"emp:2"})
+	err := run(options{
+		query:      "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+		frames:     512,
+		tracePath:  tracePath,
+		schemas:    []string{"emp=id:int,dept:int,salary:float,name:string"},
+		loads:      []string{"emp=" + csv},
+		partitions: []string{"emp:2"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,9 +166,14 @@ func TestRunAnalyzeAndTraceTogether(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	out := captureStderr(t, func() error {
-		return run("", "scan emp | agg group dept compute count", 256, false, true, 0, "", 0, tracePath,
-			[]string{"emp=id:int,dept:int,salary:float,name:string"},
-			[]string{"emp=" + csv}, nil)
+		return run(options{
+			query:     "scan emp | agg group dept compute count",
+			frames:    256,
+			analyze:   true,
+			tracePath: tracePath,
+			schemas:   []string{"emp=id:int,dept:int,salary:float,name:string"},
+			loads:     []string{"emp=" + csv},
+		})
 	})
 	if !strings.Contains(out, "rows=4") || !strings.Contains(out, "trace written") {
 		t.Fatalf("missing analyze report or trace confirmation:\n%s", out)
@@ -160,9 +186,13 @@ func TestRunAnalyzeAndTraceTogether(t *testing.T) {
 func TestRunPlanFile(t *testing.T) {
 	csv := writeCSV(t, "emp.csv", empCSV)
 	planPath := writeCSV(t, "q.vp", "scan emp\n| project name\n")
-	err := run(planPath, "", 256, false, false, 2, "", 0, "",
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, nil)
+	err := run(options{
+		planFile: planPath,
+		frames:   256,
+		maxRows:  2,
+		schemas:  []string{"emp=id:int,dept:int,salary:float,name:string"},
+		loads:    []string{"emp=" + csv},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,14 +202,19 @@ func TestRunDurableDatabaseAcrossInvocations(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "test.vdb")
 	csv := writeCSV(t, "emp.csv", empCSV)
 	// First invocation: create the db, load the table.
-	err := run("", "scan emp | agg group dept compute count", 256, false, false, 0, dbPath, 4096, "",
-		[]string{"emp=id:int,dept:int,salary:float,name:string"},
-		[]string{"emp=" + csv}, nil)
+	err := run(options{
+		query:   "scan emp | agg group dept compute count",
+		frames:  256,
+		db:      dbPath,
+		dbPages: 4096,
+		schemas: []string{"emp=id:int,dept:int,salary:float,name:string"},
+		loads:   []string{"emp=" + csv},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second invocation: reopen, query persisted data without loading.
-	err = run("", "scan emp | filter salary > 2500.0", 256, false, false, 0, dbPath, 4096, "", nil, nil, nil)
+	err = run(options{query: "scan emp | filter salary > 2500.0", frames: 256, db: dbPath, dbPages: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,49 +226,52 @@ func TestRunErrors(t *testing.T) {
 		f    func(t *testing.T) error
 	}{
 		{"no plan", func(t *testing.T) error {
-			return run("", "", 256, false, false, 0, "", 0, "", nil, nil, nil)
+			return run(options{frames: 256})
 		}},
 		{"bad plan", func(t *testing.T) error {
-			return run("", "bogus stage", 256, false, false, 0, "", 0, "", nil, nil, nil)
+			return run(options{query: "bogus stage", frames: 256})
 		}},
 		{"missing plan file", func(t *testing.T) error {
-			return run(filepath.Join(t.TempDir(), "nope.vp"), "", 256, false, false, 0, "", 0, "", nil, nil, nil)
+			return run(options{planFile: filepath.Join(t.TempDir(), "nope.vp"), frames: 256})
 		}},
 		{"bad schema flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "", []string{"broken"}, nil, nil)
+			return run(options{query: "scan t", frames: 256, schemas: []string{"broken"}})
 		}},
 		{"bad schema type", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "", []string{"t=a:blob"}, nil, nil)
+			return run(options{query: "scan t", frames: 256, schemas: []string{"t=a:blob"}})
 		}},
 		{"load without schema", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "1\n")
-			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, []string{"t=" + csv}, nil)
+			return run(options{query: "scan t", frames: 256, loads: []string{"t=" + csv}})
 		}},
 		{"bad load flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, []string{"broken"}, nil)
+			return run(options{query: "scan t", frames: 256, loads: []string{"broken"}})
 		}},
 		{"load missing file", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "",
-				[]string{"t=a:int"}, []string{"t=/nonexistent.csv"}, nil)
+			return run(options{query: "scan t", frames: 256,
+				schemas: []string{"t=a:int"}, loads: []string{"t=/nonexistent.csv"}})
 		}},
 		{"csv column mismatch", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "1,2\n")
-			return run("", "scan t", 256, false, false, 0, "", 0, "",
-				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
+			return run(options{query: "scan t", frames: 256,
+				schemas: []string{"t=a:int"}, loads: []string{"t=" + csv}})
 		}},
 		{"csv bad int", func(t *testing.T) error {
 			csv := writeCSV(t, "x.csv", "notanint\n")
-			return run("", "scan t", 256, false, false, 0, "", 0, "",
-				[]string{"t=a:int"}, []string{"t=" + csv}, nil)
+			return run(options{query: "scan t", frames: 256,
+				schemas: []string{"t=a:int"}, loads: []string{"t=" + csv}})
 		}},
 		{"bad partition flag", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, nil, []string{"t:x"})
+			return run(options{query: "scan t", frames: 256, partitions: []string{"t:x"}})
 		}},
 		{"partition of unloaded table", func(t *testing.T) error {
-			return run("", "scan t", 256, false, false, 0, "", 0, "", nil, nil, []string{"t:2"})
+			return run(options{query: "scan t", frames: 256, partitions: []string{"t:2"}})
 		}},
 		{"query unknown table", func(t *testing.T) error {
-			return run("", "scan nosuch", 256, false, false, 0, "", 0, "", nil, nil, nil)
+			return run(options{query: "scan nosuch", frames: 256})
+		}},
+		{"bad metrics addr", func(t *testing.T) error {
+			return run(options{query: "scan nosuch", frames: 256, metricsAddr: "not-an-addr:xx"})
 		}},
 	}
 	for _, c := range cases {
@@ -242,6 +280,106 @@ func TestRunErrors(t *testing.T) {
 				t.Fatalf("%s: expected error", c.name)
 			}
 		})
+	}
+}
+
+// scrapeMetrics GETs /metrics from addr and returns the per-family
+// sample counts after validating the exposition parses.
+func scrapeMetrics(t *testing.T, addr string) map[string]int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition v0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, perr := metrics.ParseText(strings.NewReader(string(body)))
+	if perr != nil {
+		t.Fatalf("scrape is not valid exposition: %v\n%s", perr, body)
+	}
+	return fams
+}
+
+// TestRunMetricsEndpoint runs a parallel query with -metrics and scrapes
+// the endpoint through the test seam: the exposition must parse and
+// cover the buffer, device, exchange and operator-latency families.
+func TestRunMetricsEndpoint(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	var fams map[string]int
+	_ = captureStderr(t, func() error {
+		return run(options{
+			query:       "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+			frames:      512,
+			metricsAddr: "127.0.0.1:0",
+			schemas:     []string{"emp=id:int,dept:int,salary:float,name:string"},
+			loads:       []string{"emp=" + csv},
+			partitions:  []string{"emp:2"},
+			metricsHook: func(addr string) { fams = scrapeMetrics(t, addr) },
+		})
+	})
+	if fams == nil {
+		t.Fatal("metricsHook never ran")
+	}
+	for _, fam := range []string{
+		"volcano_buffer_fixes_total",
+		"volcano_buffer_pinned_frames",
+		"volcano_device_page_reads_total",
+		"volcano_exchange_packets_total",
+		"volcano_op_next_seconds",
+	} {
+		if fams[fam] == 0 {
+			t.Errorf("scrape missing family %s", fam)
+		}
+	}
+}
+
+// TestRunAllObservabilityFlagsTogether is the satellite acceptance
+// check: -analyze, -trace and -metrics compose in one invocation — the
+// analyze report renders (with latency quantiles), the trace file is
+// written, and the endpoint serves a parseable exposition.
+func TestRunAllObservabilityFlagsTogether(t *testing.T) {
+	csv := writeCSV(t, "emp.csv", empCSV)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var fams map[string]int
+	out := captureStderr(t, func() error {
+		return run(options{
+			query:       "pscan emp 2 | exchange producers=2 | agg group dept compute count | sort dept",
+			frames:      512,
+			analyze:     true,
+			tracePath:   tracePath,
+			metricsAddr: "127.0.0.1:0",
+			schemas:     []string{"emp=id:int,dept:int,salary:float,name:string"},
+			loads:       []string{"emp=" + csv},
+			partitions:  []string{"emp:2"},
+			metricsHook: func(addr string) { fams = scrapeMetrics(t, addr) },
+		})
+	})
+	for _, want := range []string{"rows=4", "p50=", "trace written", "metrics: serving"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if fams == nil || fams["volcano_op_next_seconds"] == 0 {
+		t.Fatalf("metrics scrape missing operator latency family: %v", fams)
+	}
+}
+
+// TestObservabilityHelpMentionsAllFlags pins the -help table: anyone
+// reading usage sees how the three flags compose.
+func TestObservabilityHelpMentionsAllFlags(t *testing.T) {
+	for _, want := range []string{"-analyze", "-trace", "-metrics", "compose"} {
+		if !strings.Contains(observabilityHelp, want) {
+			t.Errorf("observability help missing %q", want)
+		}
 	}
 }
 

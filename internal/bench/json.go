@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -27,6 +28,22 @@ type Report struct {
 	Fig2a       []Fig2aPointJSON `json:"fig2a,omitempty"`
 	Fig2bSlopes *Fig2bJSON       `json:"fig2b_slopes,omitempty"`
 	Ablations   []AblationJSON   `json:"ablations,omitempty"`
+	// AnalyzedPass is the instrumented pipeline pass (-analyze): elapsed
+	// time plus the sink's Next-latency distribution summarised as
+	// count/mean/quantiles. Additive and omitempty, so the schema
+	// version holds.
+	AnalyzedPass *AnalyzedPassJSON `json:"analyzed_pass,omitempty"`
+}
+
+// AnalyzedPassJSON summarises the instrumented pass for the report.
+type AnalyzedPassJSON struct {
+	Records   int   `json:"records"`
+	ElapsedNs int64 `json:"elapsed_ns"`
+	NextCalls int64 `json:"next_calls"`
+	MeanNs    int64 `json:"mean_ns"`
+	P50Ns     int64 `json:"p50_ns"`
+	P95Ns     int64 `json:"p95_ns"`
+	P99Ns     int64 `json:"p99_ns"`
 }
 
 // T1JSON is the §5 overhead table.
@@ -146,4 +163,35 @@ func RunTracedPass(records int, tr *trace.Tracer) (PassResult, error) {
 		PacketSize:  83,
 		Tracer:      tr,
 	})
+}
+
+// RunAnalyzedPass runs one instrumented pipeline pass on the same
+// Figure-2a topology: the sink is wrapped, its latency recorded (into
+// mr's volcano_op_next_seconds child when mr is non-nil, so a live
+// scraper sees it), and the per-stage breakdown rendered.
+func RunAnalyzedPass(records int, mr *metrics.Registry) (PassResult, error) {
+	return RunPass(PassConfig{
+		Records:     records,
+		Stages:      3,
+		Groups:      []int{3, 3, 3},
+		FlowControl: true,
+		Slack:       3,
+		PacketSize:  83,
+		Analyze:     true,
+		Metrics:     mr,
+	})
+}
+
+// JSON summarises an analyzed pass for the report.
+func (r *PassResult) JSON() *AnalyzedPassJSON {
+	s := r.SinkLatency
+	return &AnalyzedPassJSON{
+		Records:   r.Records,
+		ElapsedNs: int64(r.Elapsed),
+		NextCalls: s.Count(),
+		MeanNs:    int64(s.Mean()),
+		P50Ns:     int64(s.Quantile(0.50)),
+		P95Ns:     int64(s.Quantile(0.95)),
+		P99Ns:     int64(s.Quantile(0.99)),
+	}
 }

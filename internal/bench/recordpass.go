@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/storage/buffer"
 	"repro/internal/trace"
 )
@@ -38,6 +39,12 @@ type PassConfig struct {
 	// buffer-daemon activity — for Chrome-trace export. nil (the
 	// default) keeps the measured path untouched.
 	Tracer *trace.Tracer
+	// Metrics, when set, exposes the run to a live scraper: the world's
+	// buffer pool registers its counters (replacing any previous pass's
+	// registration — func collectors have replace semantics) and the
+	// sink's Next latency lands in a registry-owned histogram. nil (the
+	// default) keeps the measured path untouched.
+	Metrics *metrics.Registry
 }
 
 // PassResult reports one run.
@@ -51,6 +58,9 @@ type PassResult struct {
 	PerRecord time.Duration
 	// Breakdown is the per-operator/per-port report (Analyze only).
 	Breakdown string
+	// SinkLatency is the sink's Next-latency distribution (Analyze or
+	// Metrics only; zero-valued otherwise).
+	SinkLatency metrics.HistogramSnapshot
 }
 
 // RunPass executes the record-passing program under the given config.
@@ -68,14 +78,26 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 	if cfg.Tracer.Enabled() {
 		w.Pool.SetTracer(cfg.Tracer)
 	}
+	if cfg.Metrics.Enabled() {
+		w.Pool.RegisterMetrics(cfg.Metrics)
+	}
 	var hubs []*core.Exchange
 	root, err := buildPassTree(w, cfg, &hubs)
 	if err != nil {
 		return PassResult{}, err
 	}
 	var sink *core.Instrumented
-	if cfg.Analyze || cfg.Tracer.Enabled() {
-		sink = core.Instrument(root, "sink").WithTracer(cfg.Tracer)
+	if cfg.Analyze || cfg.Tracer.Enabled() || cfg.Metrics.Enabled() {
+		var hist *metrics.Histogram
+		if cfg.Metrics.Enabled() {
+			hist = cfg.Metrics.Histogram("volcano_op_next_seconds",
+				"Operator Next call latency.", nil,
+				metrics.Label{Key: "op", Value: "sink"},
+				metrics.Label{Key: "node", Value: "0"})
+		} else if cfg.Analyze {
+			hist = metrics.NewHistogram(nil)
+		}
+		sink = core.Instrument(root, "sink").WithTracer(cfg.Tracer).WithHistogram(hist)
 		root = sink
 	}
 	poolBase := w.Pool.Stats()
@@ -99,19 +121,29 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 		Exchanges: cfg.Stages,
 		PerRecord: elapsed / time.Duration(n),
 	}
+	if sink != nil && sink.Histogram() != nil {
+		res.SinkLatency = sink.Histogram().Snapshot()
+	}
 	if cfg.Analyze {
-		res.Breakdown = formatBreakdown(sink, hubs, w.Pool.Stats().Sub(poolBase))
+		res.Breakdown = formatBreakdown(sink, hubs, w.Pool.Stats().Sub(poolBase), res.SinkLatency)
 	}
 	return res, nil
 }
 
-// formatBreakdown renders the instrumented run: sink counters, each
-// exchange boundary's port activity (stage 1 is closest to the source),
-// and the buffer pool's totals.
-func formatBreakdown(sink *core.Instrumented, hubs []*core.Exchange, pool buffer.Stats) string {
+// formatBreakdown renders the instrumented run: sink counters with
+// latency quantiles, each exchange boundary's port activity (stage 1 is
+// closest to the source), and the buffer pool's totals.
+func formatBreakdown(sink *core.Instrumented, hubs []*core.Exchange, pool buffer.Stats, lat metrics.HistogramSnapshot) string {
 	var sb []string
 	st := sink.Stats().Snapshot()
-	sb = append(sb, fmt.Sprintf("sink: %s", st))
+	if lat.Count() > 1 {
+		sb = append(sb, fmt.Sprintf("sink: %s p50=%v p95=%v p99=%v", st,
+			lat.Quantile(0.50).Round(time.Nanosecond),
+			lat.Quantile(0.95).Round(time.Nanosecond),
+			lat.Quantile(0.99).Round(time.Nanosecond)))
+	} else {
+		sb = append(sb, fmt.Sprintf("sink: %s", st))
+	}
 	for i, x := range hubs {
 		xs := x.Stats()
 		sb = append(sb, fmt.Sprintf("exchange stage %d: packets=%d records=%d forks=%d stall=%v wait=%v",

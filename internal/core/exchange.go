@@ -325,6 +325,8 @@ func (x *Exchange) producerLoop(g int) {
 // packets, flags its last packet to each consumer with an end-of-stream
 // tag, waits for permission to close, and closes the subtree.
 func (x *Exchange) runProducer(g int, tk *trace.Track) {
+	xmProducersLive.Add(1)
+	defer xmProducersLive.Add(-1)
 	defer x.port.producersDone.Done()
 	var begin time.Time
 	if tk != nil {

@@ -188,6 +188,8 @@ func (n *NetExchange) ensureStarted() {
 }
 
 func (n *NetExchange) producerLoop(g int) {
+	xmProducersLive.Add(1)
+	defer xmProducersLive.Add(-1)
 	defer n.done.Done()
 	var tk *trace.Track
 	var begin time.Time
@@ -239,6 +241,8 @@ func (n *NetExchange) producerLoop(g int) {
 		n.simulateWire(size)
 		n.packets.Add(1)
 		n.bytes.Add(int64(size))
+		xmNetPackets.Add(1)
+		xmNetBytes.Add(int64(size))
 		if tk != nil {
 			p.flow = n.cfg.Tracer.NextFlowID()
 			tk.FlowOut("wire", "wire-send", p.flow, "bytes", int64(size))
@@ -314,6 +318,7 @@ func (n *NetExchange) producerLoop(g int) {
 func (n *NetExchange) broadcastEOS(tk *trace.Track) {
 	for c, q := range n.queues {
 		n.packets.Add(1)
+		xmNetPackets.Add(1)
 		tk.Instant1("exchange", "eos", "consumer", int64(c))
 		q.ch <- &netPacket{eos: true, err: n.firstErr()}
 	}

@@ -108,6 +108,9 @@ func (q *queue) push(p *packet, tk *trace.Track) {
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	xmPackets.Add(1)
+	xmRecords.Add(int64(len(p.recs)))
+	xmQueueDepth.Add(1)
 	if q.fc != nil && !p.eos {
 		q.takeToken(tk)
 	}
@@ -125,6 +128,8 @@ func (q *queue) takeToken(tk *trace.Track) {
 		<-q.fc
 		d := time.Since(start)
 		q.ps.producerStall.Add(int64(d))
+		xmTokenWaits.Add(1)
+		xmProducerStallNs.Add(int64(d))
 		tk.SpanAt("flow", "token-wait", start, d)
 	}
 }
@@ -143,6 +148,7 @@ func (q *queue) waitLocked(tk *trace.Track, ready func() bool) {
 	}
 	d := time.Since(start)
 	q.ps.consumerWait.Add(int64(d))
+	xmConsumerWaitNs.Add(int64(d))
 	tk.SpanAt("flow", "consumer-wait", start, d)
 }
 
@@ -166,8 +172,11 @@ func (q *queue) pop(producers int, tk *trace.Track) *packet {
 		q.shared = q.shared[1:]
 	}
 	q.mu.Unlock()
-	if p != nil && q.fc != nil && !p.eos {
-		q.fc <- struct{}{}
+	if p != nil {
+		xmQueueDepth.Add(-1)
+		if q.fc != nil && !p.eos {
+			q.fc <- struct{}{}
+		}
 	}
 	return p
 }
@@ -183,8 +192,11 @@ func (q *queue) popFrom(producer int, tk *trace.Track) *packet {
 		q.byProd[producer] = l[1:]
 	}
 	q.mu.Unlock()
-	if p != nil && q.fc != nil && !p.eos {
-		q.fc <- struct{}{}
+	if p != nil {
+		xmQueueDepth.Add(-1)
+		if q.fc != nil && !p.eos {
+			q.fc <- struct{}{}
+		}
 	}
 	return p
 }
@@ -206,8 +218,11 @@ func (q *queue) tryPop() *packet {
 		q.shared = q.shared[1:]
 	}
 	q.mu.Unlock()
-	if p != nil && q.fc != nil && !p.eos {
-		q.fc <- struct{}{}
+	if p != nil {
+		xmQueueDepth.Add(-1)
+		if q.fc != nil && !p.eos {
+			q.fc <- struct{}{}
+		}
 	}
 	return p
 }
@@ -225,6 +240,7 @@ func (q *queue) drain() {
 		q.byProd[i] = nil
 	}
 	q.mu.Unlock()
+	xmQueueDepth.Add(-int64(len(all)))
 	for _, p := range all {
 		for _, r := range p.recs {
 			r.Unfix()

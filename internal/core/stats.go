@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/record"
 	"repro/internal/trace"
 )
@@ -80,6 +81,11 @@ type Instrumented struct {
 	tk        *trace.Track
 	openName  string
 	closeName string
+
+	// hist, when attached, receives every Next duration so a scraper (or
+	// EXPLAIN ANALYZE) can report latency quantiles, not just totals. The
+	// nil histogram costs one branch, like the nil tracer.
+	hist *metrics.Histogram
 }
 
 // Instrument wraps it with a fresh, private OpStats.
@@ -99,6 +105,18 @@ func (i *Instrumented) WithTracer(t *trace.Tracer) *Instrumented {
 	i.tracer = t
 	return i
 }
+
+// WithHistogram attaches a latency histogram fed one observation per
+// Next call, reusing the wall-time measurement the wrapper already
+// takes. Sibling wrappers of parallel instances may share one
+// histogram; Observe is atomic. Returns i.
+func (i *Instrumented) WithHistogram(h *metrics.Histogram) *Instrumented {
+	i.hist = h
+	return i
+}
+
+// Histogram returns the attached latency histogram (nil when none).
+func (i *Instrumented) Histogram() *metrics.Histogram { return i.hist }
 
 // Name returns the label given at wrap time.
 func (i *Instrumented) Name() string { return i.name }
@@ -138,6 +156,7 @@ func (i *Instrumented) Next() (Rec, bool, error) {
 	if ok {
 		i.st.Rows.Add(1)
 	}
+	i.hist.Observe(d)
 	i.tk.SpanAt("op", i.name, start, d)
 	return r, ok, err
 }

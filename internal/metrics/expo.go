@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format, version 0.0.4: families sorted by name, children sorted by
+// label set, histograms as cumulative _bucket/_sum/_count series with
+// bounds in seconds. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the family list under the lock, then render without it so
+	// a slow writer never blocks registration. Instrument reads are
+	// atomic; callbacks are invoked outside the lock too, so a callback
+	// may itself use the registry.
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.typeName())
+		bw.WriteByte('\n')
+		if f.kind == kindCounterFunc || f.kind == kindGaugeFunc {
+			writeSample(bw, f.name, "", formatValue(f.fn()))
+			continue
+		}
+		kids := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			kids = append(kids, c)
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].labels < kids[j].labels })
+		for _, c := range kids {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, c.labels, strconv.FormatInt(c.counter.Value(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, c.labels, strconv.FormatInt(c.gauge.Value(), 10))
+			case kindHistogram:
+				writeHistogram(bw, f.name, c.labels, c.hist.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits `name{labels} value\n`.
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count.
+// Internal nanoseconds become seconds on the wire, the Prometheus
+// convention for `*_seconds` histograms.
+func writeHistogram(bw *bufio.Writer, name, labels string, s HistogramSnapshot) {
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+		writeSample(bw, name+"_bucket", addLabel(labels, "le", le), strconv.FormatInt(cum, 10))
+	}
+	cum += s.Counts[len(s.Bounds)]
+	writeSample(bw, name+"_bucket", addLabel(labels, "le", "+Inf"), strconv.FormatInt(cum, 10))
+	writeSample(bw, name+"_sum", labels, formatValue(float64(s.SumNanos)/1e9))
+	writeSample(bw, name+"_count", labels, strconv.FormatInt(cum, 10))
+}
+
+// addLabel appends one label pair to an already-rendered label string.
+func addLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(h string) string {
+	var out []byte
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, h[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,272 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ParseText validates a Prometheus text-exposition document (format
+// 0.0.4) without external dependencies: metric-name and label-name
+// syntax, label-value quoting and escapes, parseable sample values,
+// TYPE consistency, and the histogram suffix discipline (_bucket series
+// carry `le`, cumulative counts don't decrease, a `+Inf` bucket exists
+// and equals _count). It returns per-family sample counts so callers
+// can assert coverage, e.g. that a scrape taken mid-query contains the
+// buffer, device, btree, exchange and operator families.
+//
+// The CI smoke job feeds the mid-run scrape artifact through this via a
+// test, so the format stays verified end-to-end with no external
+// scraper in the loop.
+func ParseText(r io.Reader) (map[string]int, error) {
+	var (
+		nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	)
+	families := map[string]string{} // name -> TYPE
+	samples := map[string]int{}
+	// Histogram bookkeeping, keyed by base name + non-le labels.
+	histPrev := map[string]float64{}  // last cumulative bucket value
+	histInf := map[string]float64{}   // +Inf bucket value
+	histCount := map[string]float64{} // _count value
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !nameRE.MatchString(fields[2]) {
+				return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := families[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				families[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line, nameRE, labelRE)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && families[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		typ, known := families[base]
+		if !known {
+			return nil, fmt.Errorf("line %d: sample %s without TYPE declaration", lineNo, name)
+		}
+		samples[base]++
+		if typ != "histogram" {
+			continue
+		}
+		// Histogram discipline.
+		le, rest := splitLE(labels)
+		key := base + "|" + rest
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			if le != "+Inf" {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+			}
+			if prev, ok := histPrev[key]; ok && value < prev {
+				return nil, fmt.Errorf("line %d: bucket counts decrease for %s", lineNo, base)
+			}
+			histPrev[key] = value
+			if le == "+Inf" {
+				histInf[key] = value
+			}
+		case strings.HasSuffix(name, "_count"):
+			histCount[key] = value
+		case strings.HasSuffix(name, "_sum"):
+			// value already validated as a float
+		default:
+			return nil, fmt.Errorf("line %d: bare sample %s for histogram %s", lineNo, name, base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key, cnt := range histCount {
+		inf, ok := histInf[key]
+		if !ok {
+			return nil, fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if inf != cnt {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, cnt)
+		}
+	}
+	return samples, nil
+}
+
+// parseSampleLine splits `name{labels} value` and validates each part.
+func parseSampleLine(line string, nameRE, labelRE *regexp.Regexp) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[i+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		if err := validateLabels(labels, labelRE); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("sample without value: %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !nameRE.MatchString(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	// A timestamp may follow the value; we only emit values, but accept both.
+	valStr := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valStr = rest[:i]
+	}
+	v, perr := parseFloatLoose(valStr)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", valStr)
+	}
+	return name, labels, v, nil
+}
+
+// parseFloatLoose accepts the exposition-format value forms, including
+// +Inf/-Inf/NaN spellings.
+func parseFloatLoose(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateLabels walks a rendered label body (`k="v",k2="v2"`) checking
+// name syntax, quoting, and escape sequences.
+func validateLabels(body string, labelRE *regexp.Regexp) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", body)
+		}
+		name := body[i : i+eq]
+		if !labelRE.MatchString(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		i++
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("unterminated label value in %q", body)
+			}
+			switch body[i] {
+			case '\\':
+				if i+1 >= len(body) {
+					return fmt.Errorf("dangling escape in %q", body)
+				}
+				switch body[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return fmt.Errorf("bad escape \\%c in %q", body[i+1], body)
+				}
+				i += 2
+				continue
+			case '"':
+			default:
+				i++
+				continue
+			}
+			break
+		}
+		i++ // closing quote
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// splitLE removes the le pair from a rendered label body, returning its
+// value and the remaining labels (used to key histogram series).
+func splitLE(body string) (le, rest string) {
+	if body == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, part := range splitLabelPairs(body) {
+		if strings.HasPrefix(part, `le="`) && strings.HasSuffix(part, `"`) {
+			le = part[len(`le="`) : len(part)-1]
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var parts []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, body[start:])
+}

@@ -2,11 +2,13 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/storage/buffer"
 	"repro/internal/trace"
 )
@@ -20,6 +22,12 @@ import (
 type Analysis struct {
 	root  *Node
 	stats map[*Node]*core.OpStats
+	// hists holds one Next-latency histogram per node, shared by the
+	// node's parallel instances like its OpStats. When the build was
+	// given a metrics registry these are the registry's children
+	// (volcano_op_next_seconds), so a live scraper and the analyze
+	// report read the same distributions.
+	hists map[*Node]*metrics.Histogram
 
 	pool *buffer.Pool
 	base buffer.Stats // pool counters at build time; String() shows the delta
@@ -43,18 +51,37 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 }
 
 func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
+	return buildObserved(env, cat, n, tr, nil)
+}
+
+func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
 	an := &Analysis{
 		root:  n,
 		stats: map[*Node]*core.OpStats{},
+		hists: map[*Node]*metrics.Histogram{},
 		hubs:  map[*Node][]*core.Exchange{},
 		pool:  env.Pool,
 	}
 	if an.pool != nil {
 		an.base = an.pool.Stats()
 	}
+	idx := 0
 	var walk func(*Node)
 	walk = func(nd *Node) {
 		an.stats[nd] = &core.OpStats{}
+		if mr.Enabled() {
+			// Registry child: visible to live scrapers, labelled by the
+			// operator kind and the node's pre-order position so two sorts
+			// in one plan stay distinct time series.
+			an.hists[nd] = mr.Histogram("volcano_op_next_seconds",
+				"Operator Next call latency.", nil,
+				metrics.Label{Key: "op", Value: nd.Kind.String()},
+				metrics.Label{Key: "node", Value: strconv.Itoa(idx)})
+		} else {
+			// Standalone: quantiles for the analyze report only.
+			an.hists[nd] = metrics.NewHistogram(nil)
+		}
+		idx++
 		for _, in := range nd.Inputs {
 			walk(in)
 		}
@@ -69,6 +96,11 @@ func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.
 
 // Stats returns the counters recorded for a node.
 func (a *Analysis) Stats(n *Node) *core.OpStats { return a.stats[n] }
+
+// Latency returns a snapshot of the node's Next-latency histogram.
+func (a *Analysis) Latency(n *Node) metrics.HistogramSnapshot {
+	return a.hists[n].Snapshot()
+}
 
 // addExchange registers a hub instantiated for an exchange node.
 func (a *Analysis) addExchange(n *Node, x *core.Exchange) {
@@ -128,7 +160,16 @@ func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
 	sb.WriteString(indent)
 	sb.WriteString(describe(n))
 	if st := a.stats[n]; st != nil {
-		fmt.Fprintf(sb, "  [%s]", st.Snapshot())
+		fmt.Fprintf(sb, "  [%s", st.Snapshot())
+		// Latency quantiles once there is a distribution worth reading:
+		// a single Next call's p50=p95=p99 adds nothing over next=.
+		if s := a.hists[n].Snapshot(); s.Count() > 1 {
+			fmt.Fprintf(sb, " p50=%v p95=%v p99=%v",
+				s.Quantile(0.50).Round(time.Microsecond),
+				s.Quantile(0.95).Round(time.Microsecond),
+				s.Quantile(0.99).Round(time.Microsecond))
+		}
+		sb.WriteString("]")
 	}
 	sb.WriteByte('\n')
 	if n.Kind == KindExchange {

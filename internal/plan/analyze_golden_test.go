@@ -15,7 +15,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // timingRE matches the wall-time values in an analyze report. Everything
 // else — rows, calls, packets, records, buffer counters — is deterministic
 // for a fixed plan over fixed data, so only timings are normalized.
-var timingRE = regexp.MustCompile(`(open|next|close|stall|wait)=[^] }\n]+`)
+var timingRE = regexp.MustCompile(`(open|next|close|stall|wait|p50|p95|p99)=[^] }\n]+`)
 
 func normalizeTimings(s string) string {
 	return timingRE.ReplaceAllString(s, "$1=T")

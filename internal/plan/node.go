@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/record"
 	"repro/internal/storage/btree"
 	"repro/internal/storage/file"
@@ -196,6 +197,17 @@ type buildCtx struct {
 	tracer    *trace.Tracer // non-nil when event tracing (BuildTraced)
 }
 
+// BuildObserved is the full observability build: EXPLAIN ANALYZE
+// instrumentation, optional event tracing, and per-operator Next
+// latency histograms registered on the metrics registry (family
+// volcano_op_next_seconds, labelled by operator kind and plan-node
+// position) so a live scraper sees the operators of the running query.
+// Either tr or mr (or both) may be nil; with both nil it is
+// BuildAnalyzed.
+func BuildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
+	return buildObserved(env, cat, n, tr, mr)
+}
+
 // Build instantiates the plan into an iterator tree.
 func Build(env *core.Env, cat Catalog, n *Node) (core.Iterator, error) {
 	return build(&buildCtx{env: env, cat: cat}, n)
@@ -232,6 +244,8 @@ func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		if ctx.tracer.Enabled() {
 			inst.WithTracer(ctx.tracer)
 		}
+		// Parallel instances share the node's histogram, like OpStats.
+		inst.WithHistogram(ctx.analysis.hists[n])
 		return inst, nil
 	}
 	if ctx.tracer.Enabled() {

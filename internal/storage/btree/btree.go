@@ -81,7 +81,7 @@ func (t *Tree) dupExists(n node, idx int, key []byte, rid record.RID) (bool, err
 		if next == 0 {
 			return false, nil
 		}
-		fr, err := t.pool.Fix(t.pid(next))
+		fr, err := t.fix(next)
 		if err != nil {
 			return false, err
 		}
@@ -113,6 +113,7 @@ func (t *Tree) Insert(key []byte, rid record.RID) error {
 	}
 	if newChild != 0 {
 		// Root split: grow the tree by one level.
+		splits.Add(1)
 		fr, pid, err := t.pool.FixNew(t.dev)
 		if err != nil {
 			return fmt.Errorf("btree: root split: %w", err)
@@ -135,7 +136,7 @@ func (t *Tree) Insert(key []byte, rid record.RID) error {
 // insertInto descends to the leaf, inserts, and propagates splits upward.
 // On split it returns the separator key and new right sibling page.
 func (t *Tree) insertInto(page uint32, level int, key []byte, rid record.RID) (sep []byte, newPage uint32, err error) {
-	fr, err := t.pool.Fix(t.pid(page))
+	fr, err := t.fix(page)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -182,7 +183,7 @@ func (t *Tree) insertInto(page uint32, level int, key []byte, rid record.RID) (s
 	// split. Position by child pointer, not by key search — with duplicate
 	// keys several separators can be equal, and key search could place the
 	// new sibling out of chain order.
-	fr, err = t.pool.Fix(t.pid(page))
+	fr, err = t.fix(page)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -212,6 +213,7 @@ func (t *Tree) insertInto(page uint32, level int, key []byte, rid record.RID) (s
 // splitLeaf splits the full leaf held by fr and inserts (key, rid) into
 // the proper half. Returns the separator (first key of the right node).
 func (t *Tree) splitLeaf(fr *buffer.Frame, n node, key []byte, rid record.RID) ([]byte, uint32, error) {
+	splits.Add(1)
 	rfr, rpid, err := t.pool.FixNew(t.dev)
 	if err != nil {
 		t.pool.Unfix(fr, false)
@@ -256,6 +258,7 @@ func (t *Tree) splitLeaf(fr *buffer.Frame, n node, key []byte, rid record.RID) (
 // (sep, child) at entry index j (positional, to preserve child/chain
 // order under duplicate separators). The middle key moves up.
 func (t *Tree) splitInternal(fr *buffer.Frame, n node, sep []byte, child uint32, j int) ([]byte, uint32, error) {
+	splits.Add(1)
 	rfr, rpid, err := t.pool.FixNew(t.dev)
 	if err != nil {
 		t.pool.Unfix(fr, false)
@@ -300,7 +303,7 @@ func (t *Tree) Delete(key []byte, rid record.RID) (bool, error) {
 	defer t.write.Unlock()
 	page := t.root
 	for level := t.height; level > 1; level-- {
-		fr, err := t.pool.Fix(t.pid(page))
+		fr, err := t.fix(page)
 		if err != nil {
 			return false, err
 		}
@@ -310,7 +313,7 @@ func (t *Tree) Delete(key []byte, rid record.RID) (bool, error) {
 	}
 	// Walk the leaf chain while keys match (duplicates may span leaves).
 	for page != 0 {
-		fr, err := t.pool.Fix(t.pid(page))
+		fr, err := t.fix(page)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,35 @@
+package btree
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+
+	"repro/internal/storage/buffer"
+)
+
+// Process-wide B+-tree counters (across all trees, like the device I/O
+// counters): how often the index layer touches pages and how often it
+// restructures.
+var (
+	pageFetches atomic.Int64 // pages pinned during descent, scan, and maintenance
+	splits      atomic.Int64 // leaf splits, internal splits, and root growth
+)
+
+// fix pins a tree page through the pool, counting the fetch.
+func (t *Tree) fix(page uint32) (*buffer.Frame, error) {
+	pageFetches.Add(1)
+	return t.pool.Fix(t.pid(page))
+}
+
+// RegisterMetrics exposes the package counters through a metrics
+// registry. A nil registry is a no-op.
+func RegisterMetrics(r *metrics.Registry) {
+	if !r.Enabled() {
+		return
+	}
+	r.SetCounterFunc("volcano_btree_page_fetches_total", "B+-tree pages pinned for descent, scans and maintenance.",
+		func() float64 { return float64(pageFetches.Load()) })
+	r.SetCounterFunc("volcano_btree_splits_total", "B+-tree node splits, including root growth.",
+		func() float64 { return float64(splits.Load()) })
+}

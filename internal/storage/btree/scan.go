@@ -28,7 +28,7 @@ func (t *Tree) Scan(lo, hi []byte, incLo, incHi bool) (*Cursor, error) {
 	// Descend to the leftmost candidate leaf.
 	page := t.root
 	for level := t.height; level > 1; level-- {
-		fr, err := t.pool.Fix(t.pid(page))
+		fr, err := t.fix(page)
 		if err != nil {
 			return nil, err
 		}
@@ -40,7 +40,7 @@ func (t *Tree) Scan(lo, hi []byte, incLo, incHi bool) (*Cursor, error) {
 		}
 		t.pool.Unfix(fr, false)
 	}
-	fr, err := t.pool.Fix(t.pid(page))
+	fr, err := t.fix(page)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +90,7 @@ func (c *Cursor) Next() (key []byte, rid record.RID, ok bool, err error) {
 			c.done = true
 			return nil, record.RID{}, false, nil
 		}
-		fr, err := c.t.pool.Fix(c.t.pid(next))
+		fr, err := c.t.fix(next)
 		if err != nil {
 			c.done = true
 			return nil, record.RID{}, false, err

@@ -115,10 +115,13 @@ type Pool struct {
 	// sentinel head; head.next is least recently used.
 	lru Frame
 
-	fixes, unfixes, hits, misses  int64
-	reads, writes                 int64
-	evictions, restarts, xtraPins int64
-	daemonReads, daemonWrites     int64
+	// Activity counters. Atomic so a live scraper (internal/metrics) can
+	// read them while queries and the flush/read-ahead daemons run,
+	// without taking the pool lock.
+	fixes, unfixes, hits, misses  atomic.Int64
+	reads, writes                 atomic.Int64
+	evictions, restarts, xtraPins atomic.Int64
+	daemonReads, daemonWrites     atomic.Int64
 
 	daemon *daemon
 	tracer *trace.Tracer
@@ -207,7 +210,7 @@ func (p *Pool) unlockFrame(f *Frame) {
 // restart backs off before re-running a fix attempt whose descriptor
 // try-lock failed ("the operation [is] delayed and restarted", §4.5).
 func (p *Pool) restart() {
-	atomic.AddInt64(&p.restarts, 1)
+	p.restarts.Add(1)
 	runtime.Gosched()
 }
 
@@ -287,8 +290,8 @@ func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
 		if f.fixCount == 1 {
 			p.chainRemove(f)
 		}
-		p.fixes++
-		p.hits++
+		p.fixes.Add(1)
+		p.hits.Add(1)
 		p.unlockFrame(f)
 		p.mu.Unlock()
 		return f, nil
@@ -308,15 +311,15 @@ func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
 	oldPid, oldDirty, oldValid := victim.pid, victim.dirty, victim.valid
 	if oldValid {
 		delete(p.table, oldPid)
-		p.evictions++
+		p.evictions.Add(1)
 	}
 	victim.pid = pid
 	victim.fixCount = 1
 	victim.valid = false
 	victim.dirty = false
 	p.table[pid] = victim
-	p.fixes++
-	p.misses++
+	p.fixes.Add(1)
+	p.misses.Add(1)
 	if p.mode != Global {
 		// Release the pool lock before I/O; the descriptor lock protects
 		// the frame during the transfer.
@@ -358,7 +361,7 @@ func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) er
 		if err := d.WritePage(oldPid.Page, f.data); err != nil {
 			return fmt.Errorf("buffer: write-back %s: %w", oldPid, err)
 		}
-		atomic.AddInt64(&p.writes, 1)
+		p.writes.Add(1)
 	}
 	if fresh {
 		for i := range f.data {
@@ -373,7 +376,7 @@ func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) er
 	if err := d.ReadPage(f.pid.Page, f.data); err != nil {
 		return fmt.Errorf("buffer: read %s: %w", f.pid, err)
 	}
-	atomic.AddInt64(&p.reads, 1)
+	p.reads.Add(1)
 	return nil
 }
 
@@ -395,7 +398,7 @@ func (p *Pool) Unfix(f *Frame, dirty bool) {
 		}
 		f.dirty = f.dirty || dirty
 		f.fixCount--
-		p.unfixes++
+		p.unfixes.Add(1)
 		if f.fixCount == 0 {
 			p.chainPush(f)
 		}
@@ -424,7 +427,7 @@ func (p *Pool) Pin(f *Frame, n int) {
 			panic(fmt.Sprintf("buffer: extra pin on unpinned page %s", f.pid))
 		}
 		f.fixCount += n
-		p.xtraPins += int64(n)
+		p.xtraPins.Add(int64(n))
 		p.unlockFrame(f)
 		p.mu.Unlock()
 		return
@@ -468,7 +471,7 @@ func (p *Pool) FlushPage(pid record.PageID) error {
 		}
 		if err == nil {
 			f.dirty = false
-			atomic.AddInt64(&p.writes, 1)
+			p.writes.Add(1)
 		}
 		f.fixCount--
 		if f.fixCount == 0 {
@@ -555,22 +558,22 @@ func (p *Pool) FixCount(pid record.PageID) int {
 	return 0
 }
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a snapshot of the pool's counters. Safe to call at any
+// time, including concurrently with daemon activity — the counters are
+// atomics, so no lock is taken.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := Stats{
-		Fixes:        p.fixes,
-		Unfixes:      p.unfixes,
-		Hits:         p.hits,
-		Misses:       p.misses,
-		Reads:        atomic.LoadInt64(&p.reads),
-		Writes:       atomic.LoadInt64(&p.writes),
-		Evictions:    p.evictions,
-		Restarts:     atomic.LoadInt64(&p.restarts),
-		DaemonReads:  atomic.LoadInt64(&p.daemonReads),
-		DaemonWrites: atomic.LoadInt64(&p.daemonWrites),
-		ExtraPins:    p.xtraPins,
+		Fixes:        p.fixes.Load(),
+		Unfixes:      p.unfixes.Load(),
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Reads:        p.reads.Load(),
+		Writes:       p.writes.Load(),
+		Evictions:    p.evictions.Load(),
+		Restarts:     p.restarts.Load(),
+		DaemonReads:  p.daemonReads.Load(),
+		DaemonWrites: p.daemonWrites.Load(),
+		ExtraPins:    p.xtraPins.Load(),
 	}
 	s.CurrentlyFixedHint = s.Fixes + s.ExtraPins - s.Unfixes
 	return s

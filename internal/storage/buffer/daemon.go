@@ -3,7 +3,6 @@ package buffer
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/record"
@@ -122,7 +121,7 @@ func (p *Pool) daemonLoop(d *daemon, idx int, tr *trace.Tracer) {
 				begin = time.Now()
 			}
 			if err := p.FlushPage(req.pid); err == nil {
-				atomic.AddInt64(&p.daemonWrites, 1)
+				p.daemonWrites.Add(1)
 			}
 			if tk != nil {
 				tk.SpanAt1("buffer", "flush", begin, time.Since(begin), "page", pageArg(req.pid))
@@ -139,7 +138,7 @@ func (p *Pool) daemonLoop(d *daemon, idx int, tr *trace.Tracer) {
 			if err != nil {
 				continue
 			}
-			atomic.AddInt64(&p.daemonReads, 1)
+			p.daemonReads.Add(1)
 			p.Unfix(f, false)
 			if tk != nil {
 				tk.SpanAt1("buffer", "read-ahead", begin, time.Since(begin), "page", pageArg(req.pid))

@@ -260,6 +260,7 @@ func (d *Disk) ReadPage(page uint32, buf []byte) error {
 			buf[i] = 0
 		}
 	}
+	countRead()
 	return nil
 }
 
@@ -277,6 +278,7 @@ func (d *Disk) WritePage(page uint32, data []byte) error {
 	if _, err := d.f.WriteAt(data, int64(page)*PageSize); err != nil {
 		return fmt.Errorf("device %d: write page %d: %w", d.id, page, err)
 	}
+	countWrite()
 	return nil
 }
 
@@ -367,9 +369,11 @@ func (m *Mem) ReadPage(page uint32, buf []byte) error {
 		for i := range buf {
 			buf[i] = 0
 		}
+		countRead()
 		return nil
 	}
 	copy(buf, data)
+	countRead()
 	return nil
 }
 
@@ -384,6 +388,7 @@ func (m *Mem) WritePage(page uint32, data []byte) error {
 		return fmt.Errorf("device %d: virtual page %d does not exist", m.id, page)
 	}
 	m.pages[page] = append([]byte(nil), data...)
+	countWrite()
 	return nil
 }
 

@@ -1,0 +1,46 @@
+package device
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Process-wide I/O counters, split by device class. They are
+// package-level because devices come and go (remounts, per-pass virtual
+// devices) while the I/O totals should survive them — the Prometheus
+// model of process-lifetime counters.
+var (
+	ioReads      atomic.Int64 // pages read (disk + virtual)
+	ioWrites     atomic.Int64 // pages written (disk + virtual)
+	ioReadBytes  atomic.Int64
+	ioWriteBytes atomic.Int64
+)
+
+// countRead records one page read.
+func countRead() {
+	ioReads.Add(1)
+	ioReadBytes.Add(PageSize)
+}
+
+// countWrite records one page write.
+func countWrite() {
+	ioWrites.Add(1)
+	ioWriteBytes.Add(PageSize)
+}
+
+// RegisterMetrics exposes the package's I/O counters through a metrics
+// registry. A nil registry is a no-op.
+func RegisterMetrics(r *metrics.Registry) {
+	if !r.Enabled() {
+		return
+	}
+	r.SetCounterFunc("volcano_device_page_reads_total", "Pages read from devices.",
+		func() float64 { return float64(ioReads.Load()) })
+	r.SetCounterFunc("volcano_device_page_writes_total", "Pages written to devices.",
+		func() float64 { return float64(ioWrites.Load()) })
+	r.SetCounterFunc("volcano_device_read_bytes_total", "Bytes read from devices.",
+		func() float64 { return float64(ioReadBytes.Load()) })
+	r.SetCounterFunc("volcano_device_write_bytes_total", "Bytes written to devices.",
+		func() float64 { return float64(ioWriteBytes.Load()) })
+}
