@@ -107,10 +107,13 @@ func (q *queue) push(p *packet, tk *trace.Track) {
 		q.noteEOS(p)
 	}
 	q.cond.Broadcast()
+	// Bump the depth gauge before releasing the mutex: a consumer can pop
+	// this packet (and decrement) the instant the lock drops, and the gauge
+	// must never transiently read negative on a scrape.
+	xmQueueDepth.Add(1)
 	q.mu.Unlock()
 	xmPackets.Add(1)
 	xmRecords.Add(int64(len(p.recs)))
-	xmQueueDepth.Add(1)
 	if q.fc != nil && !p.eos {
 		q.takeToken(tk)
 	}

@@ -15,14 +15,27 @@ func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	// Snapshot the family list under the lock, then render without it so
-	// a slow writer never blocks registration. Instrument reads are
-	// atomic; callbacks are invoked outside the lock too, so a callback
-	// may itself use the registry.
+	// Snapshot everything mutable — the family list, each family's fn and
+	// child set — under the lock, then render without it so a slow writer
+	// never blocks registration and a scrape never races a concurrent
+	// Counter/Histogram/SetGaugeFunc call. Children are immutable once
+	// created, instrument reads are atomic, and callbacks are invoked
+	// outside the lock, so a callback may itself use the registry.
+	type famSnap struct {
+		name, help string
+		kind       familyKind
+		fn         func() float64
+		kids       []*child
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnap, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		s := famSnap{name: f.name, help: f.help, kind: f.kind, fn: f.fn}
+		s.kids = make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			s.kids = append(s.kids, c)
+		}
+		fams = append(fams, s)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -42,12 +55,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			writeSample(bw, f.name, "", formatValue(f.fn()))
 			continue
 		}
-		kids := make([]*child, 0, len(f.children))
-		for _, c := range f.children {
-			kids = append(kids, c)
-		}
-		sort.Slice(kids, func(i, j int) bool { return kids[i].labels < kids[j].labels })
-		for _, c := range kids {
+		sort.Slice(f.kids, func(i, j int) bool { return f.kids[i].labels < f.kids[j].labels })
+		for _, c := range f.kids {
 			switch f.kind {
 			case kindCounter:
 				writeSample(bw, f.name, c.labels, strconv.FormatInt(c.counter.Value(), 10))

@@ -38,10 +38,10 @@ type Histogram struct {
 }
 
 // NewHistogram creates a standalone histogram with the given bucket
-// upper bounds (nil = DefLatencyBuckets). Bounds must be positive and
-// strictly ascending.
+// upper bounds (nil or empty = DefLatencyBuckets). Bounds must be
+// positive and strictly ascending.
 func NewHistogram(buckets []time.Duration) *Histogram {
-	if buckets == nil {
+	if len(buckets) == 0 {
 		buckets = DefLatencyBuckets
 	}
 	h := &Histogram{
@@ -147,7 +147,10 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
 // Returns 0 for an empty snapshot.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	total := s.Count()
-	if total == 0 {
+	if total == 0 || len(s.Bounds) == 0 {
+		// len(s.Bounds) == 0 can only come from a hand-built snapshot —
+		// NewHistogram always has at least one bound — but guard it so a
+		// zero-value HistogramSnapshot with counts never indexes Bounds[-1].
 		return 0
 	}
 	if q < 0 {

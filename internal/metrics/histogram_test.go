@@ -48,6 +48,25 @@ func TestHistogramEmptyAndNil(t *testing.T) {
 	}
 }
 
+// TestHistogramEmptyBucketSlice pins the fix for a constructor hole: an
+// empty non-nil bucket slice used to build a zero-bound histogram whose
+// Quantile indexed Bounds[-1] after the first Observe.
+func TestHistogramEmptyBucketSlice(t *testing.T) {
+	h := NewHistogram([]time.Duration{})
+	if len(h.bounds) != len(DefLatencyBuckets) {
+		t.Fatalf("empty bucket slice must fall back to defaults, got %d bounds", len(h.bounds))
+	}
+	h.Observe(time.Millisecond)
+	if got := h.Snapshot().Quantile(0.99); got <= 0 {
+		t.Fatalf("quantile after observe = %v, want > 0", got)
+	}
+	// A hand-built snapshot with counts but no bounds must not panic.
+	s := HistogramSnapshot{Counts: []int64{3}, SumNanos: 9}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless snapshot quantile = %v, want 0", got)
+	}
+}
+
 func TestHistogramNegativeClampedToZero(t *testing.T) {
 	h := NewHistogram(nil)
 	h.Observe(-time.Second)

@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -166,4 +168,48 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	if total != 8*500 {
 		t.Fatalf("lost updates: total=%d want %d", total, 8*500)
 	}
+}
+
+// TestScrapeRacesRegistration pins the WriteText locking fix: scrapes
+// run concurrently with family/child registration (fresh label sets, so
+// the child maps keep growing) and with callback replacement
+// (SetGaugeFunc swapping fn). The registering goroutines run until the
+// scrape loop finishes, so every scrape overlaps live registration —
+// before the fix WriteText iterated family.children and read f.fn
+// outside the registry lock, a fatal concurrent map iteration/write
+// under this load. Run with -race.
+func TestScrapeRacesRegistration(t *testing.T) {
+	r := NewRegistry()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				// Cap the child count so late scrapes stay cheap; map
+				// writes still happen throughout the warm-up, and the fn
+				// swap below races the scraper for the whole run.
+				lbl := Label{"worker", fmt.Sprintf("w%d-%d", id, n%256)}
+				r.Counter("volcano_race_total", "per-worker children", lbl).Inc()
+				r.Histogram("volcano_race_seconds", "per-worker children", nil, lbl).
+					Observe(time.Duration(n) * time.Microsecond)
+				v := float64(n)
+				r.SetGaugeFunc("volcano_race_fn", "replaced every call", func() float64 { return v })
+			}
+		}(i)
+	}
+	for n := 0; n < 30; n++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Errorf("WriteText: %v", err)
+			break
+		}
+		if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+			t.Errorf("mid-registration scrape unparseable: %v", err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
 }
