@@ -1,0 +1,185 @@
+// Command volcano-serve is the Volcano query service: it opens a durable
+// database file (created with volcano -db), binds an HTTP address, and
+// executes plan-language scripts POSTed to /query, streaming results as
+// NDJSON with a trailing status object.
+//
+//	volcano-gen -kind emp -rows 10000 -out emp.csv
+//	volcano -db db.vol -schema emp=id:int,dept:int,salary:float,name:string \
+//	        -load emp=emp.csv -q 'scan emp | filter id < 0'
+//	volcano-serve -db db.vol -addr :8080 &
+//	curl -d 'scan emp | filter dept = 2 | sort salary desc' localhost:8080/query
+//
+// The service bounds its own parallelism: -max-concurrent queries execute
+// at once, their exchange operators may fork at most -max-producers
+// goroutines in total, and at most -max-queue queries wait for admission
+// (the excess is rejected with 429). GET /healthz reports liveness, GET
+// /metrics serves the volcano_server_* families alongside the storage and
+// operator families, and SIGINT/SIGTERM drains gracefully: admission
+// stops, in-flight queries finish, then the volume closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/storage/btree"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/device"
+	"repro/internal/storage/file"
+)
+
+// options carries everything a volcano-serve invocation needs; flags in
+// main fill one in, tests construct them directly.
+type options struct {
+	db            string
+	addr          string
+	frames        int
+	maxConcurrent int
+	maxProducers  int
+	maxQueue      int
+	queueWait     time.Duration
+	maxQueryTime  time.Duration
+	planCache     int
+	drainTimeout  time.Duration
+
+	// readyHook, when set, is called with the bound listener address once
+	// the service accepts connections. Test seam.
+	readyHook func(addr string)
+	// stop, when non-nil, triggers the same graceful drain as SIGTERM
+	// when it becomes readable. Test seam.
+	stop <-chan struct{}
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.db, "db", "", "durable database file to serve (required; create with volcano -db)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	flag.IntVar(&o.frames, "frames", 4096, "buffer pool frames shared by all queries")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 4, "queries executing at once")
+	flag.IntVar(&o.maxProducers, "max-producers", 64, "total exchange producer goroutines across all queries")
+	flag.IntVar(&o.maxQueue, "max-queue", 16, "queries waiting for admission before 429s")
+	flag.DurationVar(&o.queueWait, "queue-wait", 10*time.Second, "longest a query waits for admission before a 503")
+	flag.DurationVar(&o.maxQueryTime, "max-query-time", 0, "per-query execution deadline (0 = unbounded)")
+	flag.IntVar(&o.planCache, "plan-cache", 128, "compiled-plan LRU capacity (negative disables)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "longest to wait for in-flight queries on shutdown")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "volcano-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.db == "" {
+		return fmt.Errorf("no database: use -db FILE (create one with volcano -db)")
+	}
+
+	// Storage: the served volume on a disk device, temp space for sorts
+	// and hash spills on a memory device, one buffer pool over both.
+	reg := device.NewRegistry()
+	baseID := reg.NextID()
+	disk, err := device.OpenDisk(baseID, o.db)
+	if err != nil {
+		return err
+	}
+	if err := reg.Mount(disk); err != nil {
+		return err
+	}
+	tempID := reg.NextID()
+	if err := reg.Mount(device.NewMem(tempID)); err != nil {
+		return err
+	}
+	defer reg.CloseAll()
+
+	pool := buffer.NewPool(reg, o.frames, buffer.TwoLevel)
+	base, err := file.OpenVolume(pool, baseID)
+	if err != nil {
+		return err
+	}
+	env := core.NewEnv(pool, file.NewVolume(pool, tempID))
+
+	mr := metrics.NewRegistry()
+	pool.RegisterMetrics(mr)
+	device.RegisterMetrics(mr)
+	btree.RegisterMetrics(mr)
+	core.RegisterMetrics(mr)
+
+	srv, err := server.New(server.Config{
+		Env:            env,
+		Catalog:        plan.VolumeCatalog{base},
+		CatalogVersion: catalogVersion(o.db, base),
+		MaxConcurrent:  o.maxConcurrent,
+		MaxProducers:   o.maxProducers,
+		MaxQueue:       o.maxQueue,
+		QueueWait:      o.queueWait,
+		MaxQueryTime:   o.maxQueryTime,
+		PlanCacheSize:  o.planCache,
+		Metrics:        mr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "volcano-serve: %s: %d tables, %d indexes; serving on http://%s\n",
+		o.db, len(base.List()), len(base.Indexes()), ln.Addr())
+	if o.readyHook != nil {
+		o.readyHook(ln.Addr().String())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "volcano-serve: %v: draining\n", sig)
+	case <-o.stop:
+		fmt.Fprintln(os.Stderr, "volcano-serve: stop requested: draining")
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Graceful drain: reject new work, finish in-flight queries, then
+	// stop the HTTP machinery and (via the deferred CloseAll) the volume.
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		_ = httpSrv.Close()
+		return err
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		_ = httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "volcano-serve: drained")
+	return nil
+}
+
+// catalogVersion derives the plan-cache epoch for a served database. The
+// volume is read-only while serving, so file identity (path), mtime and
+// table population pin its contents well enough: reloading the database
+// produces a new version and invalidates every cached plan.
+func catalogVersion(path string, base *file.Volume) string {
+	mtime := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		mtime = st.ModTime().UnixNano()
+	}
+	return fmt.Sprintf("%s|%d|%d|%d", path, mtime, len(base.List()), len(base.Indexes()))
+}

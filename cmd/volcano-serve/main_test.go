@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/device"
+	"repro/internal/storage/file"
+)
+
+// buildTestDB authors a durable database file the way `volcano -db` does:
+// disk device, formatted volume, one loaded table.
+func buildTestDB(t *testing.T, rows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "serve.vdb")
+	reg := device.NewRegistry()
+	id := reg.NextID()
+	d, err := device.NewDisk(id, path, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Mount(d); err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(reg, 256, buffer.TwoLevel)
+	vol, err := file.Format(pool, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := record.MustSchema(
+		record.Field{Name: "id", Type: record.TInt},
+		record.Field{Name: "dept", Type: record.TInt},
+	)
+	f, err := vol.Create("emp", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := f.Insert(sch.MustEncode(record.Int(int64(i)), record.Int(int64(i%4)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vol.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeEndToEnd boots the service on a generated database, runs a
+// query over HTTP, checks the monitoring endpoints, and shuts down via
+// the stop seam (the same path as SIGTERM).
+func TestServeEndToEnd(t *testing.T) {
+	const rows = 100
+	db := buildTestDB(t, rows)
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(options{
+			db:            db,
+			addr:          "127.0.0.1:0",
+			frames:        256,
+			maxConcurrent: 2,
+			maxProducers:  16,
+			maxQueue:      4,
+			queueWait:     5 * time.Second,
+			planCache:     16,
+			drainTimeout:  10 * time.Second,
+			readyHook:     func(addr string) { ready <- addr },
+			stop:          stop,
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/query", "text/plain", strings.NewReader("scan emp | filter dept = 1 | sort id desc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	got, prev := 0, int64(1 << 60)
+	sc := bufio.NewScanner(resp.Body)
+	var last map[string]any
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if last != nil {
+			id := int64(last["id"].(float64))
+			if id >= prev {
+				t.Fatalf("ids not descending: %d after %d", id, prev)
+			}
+			prev = id
+			got++
+		}
+		last = v
+	}
+	resp.Body.Close()
+	if last["status"] != "ok" || got != rows/4 {
+		t.Fatalf("trailer %v, rows %d (want %d)", last, got, rows/4)
+	}
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseText(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics scrape does not parse: %v", err)
+	}
+	for _, f := range []string{"volcano_server_admitted_total", "volcano_buffer_fixes_total"} {
+		if fams[f] == 0 {
+			t.Errorf("scrape missing family %s", f)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain and exit")
+	}
+}
+
+// TestServeRequiresDB pins the usage error.
+func TestServeRequiresDB(t *testing.T) {
+	if err := run(options{}); err == nil || !strings.Contains(err.Error(), "-db") {
+		t.Fatalf("run without -db: %v, want usage error", err)
+	}
+}

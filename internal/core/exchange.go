@@ -99,6 +99,16 @@ type ExchangeConfig struct {
 	// Producers == Consumers. Flow control is obsolete in this mode.
 	Inline bool
 
+	// Done, when non-nil, cancels the producer group: once the channel is
+	// closed, every producer abandons its subtree between records instead
+	// of driving it to end-of-stream. The shutdown handshake still runs —
+	// producers deliver their tagged final packet (carrying ErrCanceled)
+	// and wait for the consumers' allow-close — so teardown ordering is
+	// unchanged; cancellation only bounds how much work an abandoned
+	// query's producers do first. nil (the default) disables the
+	// per-record poll entirely.
+	Done <-chan struct{}
+
 	// KeepStreams keeps input records separated by producer so that a
 	// merge iterator can consume each sorted producer stream individually
 	// (§4.4). Use ConsumerStreams to obtain the per-producer streams.
@@ -160,6 +170,21 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 // exchangeSeq numbers exchange hubs so the trace tracks of nested or
 // sibling exchanges stay distinguishable.
 var exchangeSeq atomic.Int64
+
+// ErrCanceled is the error producers report when the exchange's Done
+// channel closes while they are still producing. Consumers that keep
+// reading after cancellation see it in the final packet.
+var ErrCanceled = fmt.Errorf("core: exchange: query canceled")
+
+// canceled reports whether the Done channel has been closed.
+func (x *Exchange) canceled() bool {
+	select {
+	case <-x.cfg.Done:
+		return true
+	default:
+		return false
+	}
+}
 
 // producerTrack registers producer g's trace track (nil when untraced).
 func (x *Exchange) producerTrack(g int) *trace.Track {
@@ -354,6 +379,11 @@ func (x *Exchange) runProducer(g int, tk *trace.Track) {
 	out.tk = tk
 	var produced int64
 	for {
+		if x.cfg.Done != nil && x.canceled() {
+			x.setErr(ErrCanceled)
+			tk.Instant1("exchange", "canceled", "producer", int64(g))
+			break
+		}
 		r, ok, nerr := input.Next()
 		if nerr != nil {
 			x.setErr(nerr)

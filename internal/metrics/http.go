@@ -18,6 +18,20 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Mount registers the monitoring endpoints on an existing mux: GET
+// /metrics serving the registry (which may be nil — the exposition is
+// then empty) and the standard pprof handlers under /debug/pprof/. Both
+// Serve and servers that own their mux (the query service) use this, so
+// every process exposes the same monitoring surface.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Server is a live monitoring endpoint: GET /metrics plus the pprof
 // handlers under /debug/pprof/.
 type Server struct {
@@ -39,12 +53,7 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	Mount(mux, r)
 	s := &Server{
 		Addr: ln.Addr().String(),
 		ln:   ln,

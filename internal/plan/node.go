@@ -192,9 +192,39 @@ func (v VolumeCatalog) LookupIndex(name string) (*btree.Tree, error) {
 type buildCtx struct {
 	env       *core.Env
 	cat       Catalog
-	partition int           // current producer index (for partitioned scans)
-	analysis  *Analysis     // non-nil when instrumenting (BuildAnalyzed)
-	tracer    *trace.Tracer // non-nil when event tracing (BuildTraced)
+	partition int             // current producer index (for partitioned scans)
+	analysis  *Analysis       // non-nil when instrumenting (BuildAnalyzed)
+	tracer    *trace.Tracer   // non-nil when event tracing (BuildTraced)
+	done      <-chan struct{} // non-nil: cancellation for exchange producer groups
+}
+
+// BuildOptions selects the optional build facilities. The zero value is a
+// plain Build. All combinations compose: one iterator tree can be
+// instrumented, traced, scrape-visible and cancellable at once.
+type BuildOptions struct {
+	// Analyze wraps every operator for EXPLAIN ANALYZE; the returned
+	// *Analysis is non-nil. Implied by Metrics.
+	Analyze bool
+	// Tracer records structured protocol events (nil = off).
+	Tracer *trace.Tracer
+	// Metrics registers per-operator Next-latency histograms
+	// (volcano_op_next_seconds) on the registry (nil = off).
+	Metrics *metrics.Registry
+	// Done, when non-nil, is plumbed into every exchange the build
+	// instantiates: closing it makes producer groups abandon their
+	// subtrees (core.ExchangeConfig.Done), bounding the work done on
+	// behalf of a query nobody is waiting for anymore.
+	Done <-chan struct{}
+}
+
+// BuildWith instantiates the plan with the given options. The *Analysis
+// is non-nil iff o.Analyze or o.Metrics is set.
+func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterator, *Analysis, error) {
+	if o.Analyze || o.Metrics.Enabled() {
+		return buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done)
+	}
+	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done}, n)
+	return it, nil, err
 }
 
 // BuildObserved is the full observability build: EXPLAIN ANALYZE
@@ -205,7 +235,7 @@ type buildCtx struct {
 // Either tr or mr (or both) may be nil; with both nil it is
 // BuildAnalyzed.
 func BuildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, tr, mr)
+	return buildObserved(env, cat, n, tr, mr, nil)
 }
 
 // Build instantiates the plan into an iterator tree.
@@ -457,14 +487,17 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	}
 	schema := probe.Schema()
 
-	// Resolve parser-supplied field terms against the producer schema.
+	// Resolve parser-supplied field terms against the producer schema into
+	// locals: the Node (and its XOpts) may be a cached template shared by
+	// concurrent builds, so instantiation must never write to it.
+	hashKeys, mergeSort := o.HashKeys, o.MergeSort
 	if n.HashTerms != nil {
-		if o.HashKeys, err = resolveKey(schema, n.HashTerms); err != nil {
+		if hashKeys, err = resolveKey(schema, n.HashTerms); err != nil {
 			return nil, err
 		}
 	}
 	if n.MergeTerms != nil {
-		if o.MergeSort, err = resolveSort(schema, n.MergeTerms); err != nil {
+		if mergeSort, err = resolveSort(schema, n.MergeTerms); err != nil {
 			return nil, err
 		}
 	}
@@ -482,8 +515,9 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		Fork:        o.Fork,
 		ForkCost:    o.ForkCost,
 		Tracer:      ctx.tracer,
+		Done:        ctx.done,
 		NewProducer: func(g int) (core.Iterator, error) {
-			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer}, n.Inputs[0])
+			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer, done: ctx.done}, n.Inputs[0])
 		},
 	}
 	if cfg.Consumers == 0 {
@@ -494,9 +528,9 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	}
 	switch {
 	case o.Broadcast:
-	case len(o.HashKeys) > 0:
+	case len(hashKeys) > 0:
 		cfg.NewPartition = func(int) expr.Partitioner {
-			return expr.HashPartition(schema, o.HashKeys, cfg.Consumers)
+			return expr.HashPartition(schema, hashKeys, cfg.Consumers)
 		}
 	case o.UseRange:
 		cfg.NewPartition = func(int) expr.Partitioner {
@@ -518,7 +552,7 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.NewMergeSpec(streams, o.MergeSort)
+		return core.NewMergeSpec(streams, mergeSort)
 	}
 	if cfg.Consumers != 1 {
 		return nil, fmt.Errorf("plan: non-root exchange with %d consumers must be embedded by a parent exchange", cfg.Consumers)

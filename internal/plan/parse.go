@@ -125,42 +125,122 @@ func parseTerms(s string) ([]Term, error) {
 	return out, nil
 }
 
-// Parse parses a plan-language script into a plan tree.
-func Parse(src string) (*Node, error) {
-	named := map[string]*Node{}
-	var lines []string
-	for _, raw := range strings.Split(src, "\n") {
+// ParseError locates a parse failure in the source script so callers —
+// in particular the query server's 400 responses — can point at the
+// offending line and stage instead of echoing a bare message.
+type ParseError struct {
+	Line  int    // 1-based source line the failing stage starts on (0 = whole script)
+	Stage int    // 1-based stage index within its statement (0 = statement level)
+	Op    string // stage keyword, "" when the stage never identified itself
+	Err   error  // underlying cause; its "plan: " prefix is stripped in Error
+}
+
+// Error renders "plan: line L, stage S: cause".
+func (e *ParseError) Error() string {
+	msg := strings.TrimPrefix(e.Err.Error(), "plan: ")
+	switch {
+	case e.Line == 0:
+		return "plan: " + msg
+	case e.Stage == 0:
+		return fmt.Sprintf("plan: line %d: %s", e.Line, msg)
+	default:
+		return fmt.Sprintf("plan: line %d, stage %d: %s", e.Line, e.Stage, msg)
+	}
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// srcStage is one pipeline stage with the source line it starts on.
+type srcStage struct {
+	text string
+	line int
+}
+
+// srcStmt is one statement — a with-binding or the main pipeline — as a
+// sequence of stages.
+type srcStmt struct {
+	stages []srcStage
+	line   int
+}
+
+// splitSource performs the lexical phase shared by Parse and Normalize:
+// strip '#' comments, trim whitespace, drop blank lines, attach
+// continuation lines starting with '|' to the open statement, and split
+// every statement into its '|'-separated stages, each tagged with the
+// 1-based line it starts on. Empty stage texts are preserved so the
+// parser can report them.
+func splitSource(src string) []srcStmt {
+	var stmts []srcStmt
+	for ln, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.Index(line, "#"); i >= 0 {
 			line = line[:i]
 		}
 		line = strings.TrimSpace(line)
-		if line != "" {
-			lines = append(lines, line)
+		if line == "" {
+			continue
 		}
-	}
-	// Re-join continuation lines starting with '|'.
-	var stmts []string
-	for _, l := range lines {
-		if strings.HasPrefix(l, "|") && len(stmts) > 0 {
-			stmts[len(stmts)-1] += " " + l
+		cont := strings.HasPrefix(line, "|") && len(stmts) > 0
+		if cont {
+			line = line[1:]
+		}
+		var stages []srcStage
+		for _, seg := range strings.Split(line, "|") {
+			stages = append(stages, srcStage{text: strings.TrimSpace(seg), line: ln + 1})
+		}
+		if cont {
+			last := &stmts[len(stmts)-1]
+			last.stages = append(last.stages, stages...)
 		} else {
-			stmts = append(stmts, l)
+			stmts = append(stmts, srcStmt{stages: stages, line: ln + 1})
 		}
 	}
+	return stmts
+}
+
+// Normalize returns the canonical form of a plan script: comments and
+// blank lines removed, continuation lines joined, stages separated by
+// " | " and statements by newlines. Two sources with the same normal form
+// parse identically (Parse operates on exactly the stage texts Normalize
+// emits), which makes the normal form a sound plan-cache key; whitespace
+// inside a stage — including inside string literals — is untouched.
+func Normalize(src string) string {
+	var sb strings.Builder
+	for i, st := range splitSource(src) {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		for j, sg := range st.stages {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(sg.text)
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses a plan-language script into a plan tree. Failures are
+// reported as *ParseError carrying the offending line and stage.
+func Parse(src string) (*Node, error) {
+	named := map[string]*Node{}
+	stmts := splitSource(src)
 	if len(stmts) == 0 {
-		return nil, fmt.Errorf("plan: empty script")
+		return nil, &ParseError{Err: fmt.Errorf("plan: empty script")}
 	}
 	var main *Node
 	for _, stmt := range stmts {
-		if strings.HasPrefix(stmt, "with ") {
-			rest := strings.TrimPrefix(stmt, "with ")
+		first := stmt.stages[0]
+		if strings.HasPrefix(first.text, "with ") {
+			rest := strings.TrimPrefix(first.text, "with ")
 			eq := strings.Index(rest, "=")
 			if eq < 0 {
-				return nil, fmt.Errorf("plan: with-binding needs '=': %q", stmt)
+				return nil, &ParseError{Line: stmt.line, Err: fmt.Errorf("plan: with-binding needs '=': %q", first.text)}
 			}
 			name := strings.TrimSpace(rest[:eq])
-			node, err := parsePipeline(rest[eq+1:], named)
+			stages := append([]srcStage{{text: strings.TrimSpace(rest[eq+1:]), line: first.line}}, stmt.stages[1:]...)
+			node, err := parsePipeline(stages, named)
 			if err != nil {
 				return nil, err
 			}
@@ -168,31 +248,30 @@ func Parse(src string) (*Node, error) {
 			continue
 		}
 		if main != nil {
-			return nil, fmt.Errorf("plan: more than one main pipeline")
+			return nil, &ParseError{Line: stmt.line, Err: fmt.Errorf("plan: more than one main pipeline")}
 		}
-		node, err := parsePipeline(stmt, named)
+		node, err := parsePipeline(stmt.stages, named)
 		if err != nil {
 			return nil, err
 		}
 		main = node
 	}
 	if main == nil {
-		return nil, fmt.Errorf("plan: no main pipeline (only with-bindings)")
+		return nil, &ParseError{Err: fmt.Errorf("plan: no main pipeline (only with-bindings)")}
 	}
 	return main, nil
 }
 
-func parsePipeline(src string, named map[string]*Node) (*Node, error) {
-	stages := strings.Split(src, "|")
+func parsePipeline(stages []srcStage, named map[string]*Node) (*Node, error) {
 	var cur *Node
-	for _, st := range stages {
-		st = strings.TrimSpace(st)
-		if st == "" {
-			return nil, fmt.Errorf("plan: empty stage")
+	for i, st := range stages {
+		if st.text == "" {
+			return nil, &ParseError{Line: st.line, Stage: i + 1, Err: fmt.Errorf("plan: empty stage")}
 		}
-		node, err := parseStage(st, cur, named)
+		node, err := parseStage(st.text, cur, named)
 		if err != nil {
-			return nil, err
+			head, _ := splitHead(st.text)
+			return nil, &ParseError{Line: st.line, Stage: i + 1, Op: strings.ToLower(head), Err: err}
 		}
 		cur = node
 	}
@@ -398,7 +477,9 @@ func parseAgg(rest string, input *Node) (*Node, error) {
 	low := strings.ToLower(rest)
 	gi := strings.Index(low, "group ")
 	ci := strings.Index(low, " compute ")
-	if gi != 0 || ci < 0 {
+	// ci must leave room for the group field list: "group compute x" has
+	// the two keywords overlapping and no fields between them.
+	if gi != 0 || ci < len("group ") {
 		return nil, fmt.Errorf("plan: usage: agg [hash|sort] group FIELDS compute AGGS")
 	}
 	groupTerms, err := parseTerms(rest[len("group "):ci])
@@ -544,7 +625,9 @@ func parseDivide(rest string, input *Node, named map[string]*Node) (*Node, error
 	qi := strings.Index(low, "quot ")
 	di := strings.Index(low, " div ")
 	oi := strings.Index(low, " on ")
-	if qi != 0 || di < 0 || oi < di {
+	// Each keyword must leave room for the preceding field list, or the
+	// slices below run backwards ("quot div x on y" overlaps them).
+	if qi != 0 || di < len("quot ") || oi < di+len(" div ") {
 		return nil, fmt.Errorf("plan: usage: divide [hash|sort] NAME quot FIELDS div FIELDS on FIELDS")
 	}
 	quot, err := parseTerms(rest[len("quot "):di])

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseErrorGolden pins the rendered form of a parse failure: the
+// query server returns this text in 400 bodies, so it must name the line
+// and stage of the offending input, not just the symptom.
+func TestParseErrorGolden(t *testing.T) {
+	src := `# nightly report
+scan emp
+| filter salary > 1200
+| projct name, salary
+| sort salary desc`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("malformed plan accepted")
+	}
+	const want = `plan: line 4, stage 3: unknown stage "projct"`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 || pe.Stage != 3 || pe.Op != "projct" {
+		t.Fatalf("position = line %d stage %d op %q, want line 4 stage 3 op \"projct\"", pe.Line, pe.Stage, pe.Op)
+	}
+}
+
+// TestParseErrorPositions checks position reporting across error shapes:
+// statement-level failures, first-line failures, and continuation lines.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		src        string
+		line, stag int
+	}{
+		{"scan", 1, 1},                              // first line, first stage
+		{"scan emp | filter", 1, 2},                 // second stage, same line
+		{"scan emp\n| filter x = 1\n| bogus", 3, 3}, // continuation line
+		{"with x scan emp\nscan emp", 1, 0},         // statement-level: missing '='
+		{"scan a\n\n# c\nscan b", 4, 0},             // second main pipeline
+		{"scan emp |", 1, 2},                        // trailing empty stage
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q): error %T, want *ParseError", c.src, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Stage != c.stag {
+			t.Errorf("Parse(%q): line %d stage %d, want line %d stage %d (%v)",
+				c.src, pe.Line, pe.Stage, c.line, c.stag, err)
+		}
+	}
+}
+
+// TestParseKeywordOverlapNoPanic regresses the slice-bounds panics found
+// by the fuzz target: agg/divide keyword lists that overlap must produce
+// usage errors, never panic.
+func TestParseKeywordOverlapNoPanic(t *testing.T) {
+	bad := []string{
+		"scan emp | agg group compute x",
+		"scan emp | agg sort group compute sum(x)",
+		"with d = scan d\nscan emp | divide d quot div x on y",
+		"with d = scan d\nscan emp | divide hash d quot a div on c",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+// TestNormalize pins the canonical form used as the plan-cache key.
+func TestNormalize(t *testing.T) {
+	src := `# report
+with depts = scan dept
+scan emp   # base table
+| filter dept = 2
+| join hash depts on dept = id`
+	want := "with depts = scan dept\nscan emp | filter dept = 2 | join hash depts on dept = id"
+	if got := Normalize(src); got != want {
+		t.Fatalf("Normalize = %q, want %q", got, want)
+	}
+	// Intra-stage whitespace is preserved: it may sit inside a string
+	// literal, where collapsing would change the query's meaning.
+	lit := "scan emp | filter name = 'a  b'"
+	if got := Normalize(lit); got != lit {
+		t.Fatalf("Normalize(%q) = %q, want unchanged", lit, got)
+	}
+}
+
+// TestProducerGoroutines pins the admission weight computation, including
+// the per-producer multiplication for nested exchanges.
+func TestProducerGoroutines(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"scan emp", 0},
+		{"scan emp | exchange producers=4", 4},
+		{"scan emp | exchange inline", 0},
+		{"pscan emp 2 | exchange producers=2 | sort id | exchange producers=3", 3 + 3*2},
+		{"with d = scan d | exchange producers=2\nscan emp | join hash d on a = b | exchange producers=3", 3 + 3*2},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := ProducerGoroutines(n); got != c.want {
+			t.Errorf("ProducerGoroutines(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}

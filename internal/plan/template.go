@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"repro/internal/core"
+)
+
+// Template is a reusable compiled-plan handle: the parsed tree plus the
+// facts a serving layer needs before executing it (normalized source for
+// cache keying, worst-case producer-goroutine footprint for admission
+// control). A Template is immutable after Compile — Build never writes to
+// the tree — so one cached Template may be instantiated concurrently; each
+// Build call yields a fresh iterator tree.
+type Template struct {
+	root      *Node
+	source    string
+	producers int
+}
+
+// Compile parses a plan script into a Template.
+func Compile(src string) (*Template, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Template{root: n, source: Normalize(src), producers: ProducerGoroutines(n)}, nil
+}
+
+// Root returns the plan tree. Callers must treat it as read-only.
+func (t *Template) Root() *Node { return t.root }
+
+// Source returns the normalized plan text the template was compiled from.
+func (t *Template) Source() string { return t.source }
+
+// ProducerGoroutines returns the worst-case number of producer goroutines
+// the plan forks when executed (see the function of the same name).
+func (t *Template) ProducerGoroutines() int { return t.producers }
+
+// Build instantiates a fresh iterator tree from the template.
+func (t *Template) Build(env *core.Env, cat Catalog, o BuildOptions) (core.Iterator, *Analysis, error) {
+	return BuildWith(env, cat, t.root, o)
+}
+
+// ProducerGoroutines computes the worst-case number of producer
+// goroutines a plan forks: every non-inline exchange forks Producers
+// goroutines per instantiation, and an exchange nested inside a producer
+// subtree is instantiated once per enclosing producer, so counts multiply
+// down the tree. Inline exchanges fork nothing. Admission control uses
+// this as the weight of a query against the process-wide producer budget.
+func ProducerGoroutines(n *Node) int {
+	return producerGoroutines(n, 1)
+}
+
+func producerGoroutines(n *Node, mult int) int {
+	if n == nil {
+		return 0
+	}
+	total := 0
+	if n.Kind == KindExchange && n.X != nil && !n.X.Inline {
+		p := n.X.Producers
+		if p < 1 {
+			p = 1
+		}
+		total += mult * p
+		mult *= p
+	}
+	for _, in := range n.Inputs {
+		total += producerGoroutines(in, mult)
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// planCache is an LRU of compiled plan templates. The key is the catalog
+// version plus the normalized plan text (see cacheKey), so textual
+// variants of one query — comments, stage line breaks, surrounding
+// whitespace — share an entry, while a catalog swap invalidates
+// everything at once. Values are *plan.Template, which are immutable, so
+// a hit may be handed to a request while another request holds the same
+// template mid-execution.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	m *serverMetrics
+}
+
+type cacheEntry struct {
+	key string
+	tpl *plan.Template
+}
+
+// cacheKey builds the lookup key for a plan source under a catalog
+// version. The NUL separator cannot occur in a version string that is
+// sane and cannot survive Normalize, so keys are unambiguous.
+func cacheKey(catalogVersion, src string) string {
+	return catalogVersion + "\x00" + plan.Normalize(src)
+}
+
+// newPlanCache returns a cache holding up to capacity templates; a
+// capacity <= 0 disables caching (every lookup misses, nothing stored).
+func newPlanCache(capacity int, m *serverMetrics) *planCache {
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		m:     m,
+	}
+}
+
+// get returns the cached template for key, refreshing its recency.
+func (c *planCache) get(key string) (*plan.Template, bool) {
+	if c.cap <= 0 {
+		c.m.cacheMisses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.m.cacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.m.cacheHits.Inc()
+	return el.Value.(*cacheEntry).tpl, true
+}
+
+// put stores a freshly compiled template, evicting the least recently
+// used entry when full. Two requests that miss on the same key both
+// compile and both put; the second overwrites the first with an
+// equivalent template, which is harmless.
+func (c *planCache) put(key string, tpl *plan.Template) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).tpl = tpl
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, tpl: tpl})
+	if c.ll.Len() > c.cap {
+		old := c.ll.Remove(c.ll.Back()).(*cacheEntry)
+		delete(c.byKey, old.key)
+		c.m.cacheEvictions.Inc()
+	}
+}
+
+// len reports the number of cached templates (tests).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"repro/internal/metrics"
+)
+
+// serverMetrics are the volcano_server_* instrument handles. Every handle
+// is nil-safe (the nil-registry convention of internal/metrics), so a
+// server without a registry pays one branch per update and nothing else.
+type serverMetrics struct {
+	admitted *metrics.Counter // queries that got an execution slot
+	queued   *metrics.Counter // queries that had to wait in the admission queue
+	canceled *metrics.Counter // queries abandoned mid-stream (disconnect/deadline)
+
+	// rejections by reason; pre-created so the handler never touches the
+	// registry lock on the rejection path.
+	rejSaturated   *metrics.Counter
+	rejDraining    *metrics.Counter
+	rejTimeout     *metrics.Counter
+	rejParse       *metrics.Counter
+	rejPlan        *metrics.Counter
+	rejTooParallel *metrics.Counter
+
+	inFlight  *metrics.Gauge     // queries currently executing
+	queueWait *metrics.Histogram // time spent in the admission queue
+	querySecs *metrics.Histogram // admission-to-trailer latency of admitted queries
+	rowsOut   *metrics.Counter   // result rows streamed to clients
+
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+}
+
+// rejectionCounter maps an AdmitError reason to its counter. Unknown
+// reasons fall back to a nil (no-op) counter rather than panicking.
+func (m *serverMetrics) rejectionCounter(reason string) *metrics.Counter {
+	switch reason {
+	case "saturated":
+		return m.rejSaturated
+	case "draining":
+		return m.rejDraining
+	case "queue_timeout":
+		return m.rejTimeout
+	case "parse":
+		return m.rejParse
+	case "plan":
+		return m.rejPlan
+	case "too_parallel":
+		return m.rejTooParallel
+	}
+	return nil
+}
+
+func newServerMetrics(r *metrics.Registry) *serverMetrics {
+	m := &serverMetrics{}
+	if !r.Enabled() {
+		return m
+	}
+	m.admitted = r.Counter("volcano_server_admitted_total",
+		"Queries admitted for execution.")
+	m.queued = r.Counter("volcano_server_queued_total",
+		"Queries that waited in the admission queue before a decision.")
+	m.canceled = r.Counter("volcano_server_canceled_total",
+		"Admitted queries abandoned before completion (client disconnect or deadline).")
+	reject := func(reason string) *metrics.Counter {
+		return r.Counter("volcano_server_rejected_total",
+			"Queries rejected without execution, by reason.",
+			metrics.Label{Key: "reason", Value: reason})
+	}
+	m.rejSaturated = reject("saturated")
+	m.rejDraining = reject("draining")
+	m.rejTimeout = reject("queue_timeout")
+	m.rejParse = reject("parse")
+	m.rejPlan = reject("plan")
+	m.rejTooParallel = reject("too_parallel")
+	m.inFlight = r.Gauge("volcano_server_in_flight",
+		"Queries currently executing.")
+	m.queueWait = r.Histogram("volcano_server_queue_wait_seconds",
+		"Time queries spent in the admission queue.", nil)
+	m.querySecs = r.Histogram("volcano_server_query_seconds",
+		"Latency of admitted queries, admission to trailer.", nil)
+	m.rowsOut = r.Counter("volcano_server_rows_total",
+		"Result rows streamed to clients.")
+	m.cacheHits = r.Counter("volcano_server_plan_cache_hits_total",
+		"Plan-cache lookups that reused a compiled template.")
+	m.cacheMisses = r.Counter("volcano_server_plan_cache_misses_total",
+		"Plan-cache lookups that had to compile.")
+	m.cacheEvictions = r.Counter("volcano_server_plan_cache_evictions_total",
+		"Templates evicted from the plan cache.")
+	return m
+}

@@ -1,0 +1,365 @@
+// Package server is the Volcano query service: an HTTP front end that
+// accepts plan-language scripts, executes them against a shared read-only
+// volume and buffer pool, and streams results as NDJSON. It encapsulates
+// the serving concerns the paper's exchange operator does not: admission
+// control (bounding concurrent queries and total producer goroutines), a
+// compiled-plan cache, per-request cancellation that tears the iterator
+// tree down through the exchange shutdown handshake, and graceful drain.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+)
+
+// Config configures a query server. Env and Catalog are required; zero
+// values elsewhere pick the documented defaults.
+type Config struct {
+	// Env is the shared execution environment: the buffer pool and the
+	// temp volume every admitted query allocates intermediates on.
+	Env *core.Env
+	// Catalog resolves table (and index) names. It must be safe for
+	// concurrent use; VolumeCatalog over a file.Volume is.
+	Catalog plan.Catalog
+	// CatalogVersion participates in plan-cache keys: bump it when the
+	// catalog changes and every cached plan is invalidated at once.
+	CatalogVersion string
+
+	// MaxConcurrent bounds queries executing at once (default 4).
+	MaxConcurrent int
+	// MaxProducers bounds the sum of exchange producer goroutines across
+	// all executing queries (default 64). A plan whose own footprint
+	// exceeds this is rejected outright with 400.
+	MaxProducers int
+	// MaxQueue bounds queries waiting for admission; the excess is
+	// rejected immediately with 429 (default 16).
+	MaxQueue int
+	// QueueWait bounds the time one query waits for admission before a
+	// 503 (default 10s).
+	QueueWait time.Duration
+	// MaxQueryTime bounds a query's total execution; 0 means unbounded.
+	// Expiry cancels the query mid-stream like a client disconnect.
+	MaxQueryTime time.Duration
+	// MaxPlanBytes bounds the request body (default 64 KiB).
+	MaxPlanBytes int64
+	// PlanCacheSize is the LRU capacity in templates (default 128; a
+	// negative value disables the cache).
+	PlanCacheSize int
+	// FlushEvery flushes the response stream every N rows (default 64).
+	FlushEvery int
+
+	// Metrics, when non-nil, receives the volcano_server_* families and
+	// is served on GET /metrics.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxProducers <= 0 {
+		c.MaxProducers = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.MaxPlanBytes <= 0 {
+		c.MaxPlanBytes = 64 << 10
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 64
+	}
+	return c
+}
+
+// Server executes plan scripts over HTTP. Create with New, expose
+// Handler, and call Drain before process exit.
+type Server struct {
+	cfg   Config
+	m     *serverMetrics
+	gov   *governor
+	cache *planCache
+	life  *lifecycle
+	mux   *http.ServeMux
+}
+
+// New builds a Server. The caller owns the listener; Handler returns the
+// full mux (POST /query, GET /healthz, GET /metrics, /debug/pprof/).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Env == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("server: Config.Env and Config.Catalog are required")
+	}
+	m := newServerMetrics(cfg.Metrics)
+	s := &Server{
+		cfg:   cfg,
+		m:     m,
+		gov:   newGovernor(cfg.MaxConcurrent, cfg.MaxProducers, cfg.MaxQueue, m),
+		cache: newPlanCache(cfg.PlanCacheSize, m),
+		life:  newLifecycle(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	metrics.Mount(s.mux, cfg.Metrics)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully shuts the server down: new and queued queries are
+// rejected with 503, then Drain blocks until in-flight queries finish or
+// ctx expires. It is idempotent. After a nil return the shared volume and
+// pool are quiescent and safe to close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.life.beginDrain()
+	s.gov.drain()
+	return s.life.wait(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.life.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a plan script to /query", http.StatusMethodNotAllowed)
+		return
+	}
+	// Register with the lifecycle before anything else so Drain's wait
+	// covers every request past this point.
+	if !s.life.enter() {
+		s.m.rejDraining.Inc()
+		http.Error(w, ErrDraining.Error(), ErrDraining.Status)
+		return
+	}
+	defer s.life.exit()
+
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxPlanBytes))
+	if err != nil {
+		s.m.rejParse.Inc()
+		http.Error(w, fmt.Sprintf("server: reading plan: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	tpl, err := s.compile(string(src))
+	if err != nil {
+		s.m.rejParse.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	qctx := r.Context()
+	if s.cfg.MaxQueryTime > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, s.cfg.MaxQueryTime)
+		defer cancel()
+	}
+
+	weight := tpl.ProducerGoroutines()
+	admitCtx, cancelAdmit := context.WithTimeout(qctx, s.cfg.QueueWait)
+	err = s.gov.admit(admitCtx, weight)
+	cancelAdmit()
+	if err != nil {
+		var ae *AdmitError
+		if errors.As(err, &ae) {
+			s.m.rejectionCounter(ae.Reason).Inc()
+			http.Error(w, ae.Error(), ae.Status)
+		}
+		// Otherwise the client disconnected while queued; nobody is
+		// listening for a response.
+		return
+	}
+	defer s.gov.release(weight)
+
+	s.m.admitted.Inc()
+	s.m.inFlight.Inc()
+	defer s.m.inFlight.Dec()
+	start := time.Now()
+	defer func() { s.m.querySecs.Observe(time.Since(start)) }()
+
+	s.execute(w, qctx, tpl)
+}
+
+// compile resolves a plan source to a template via the cache.
+func (s *Server) compile(src string) (*plan.Template, error) {
+	key := cacheKey(s.cfg.CatalogVersion, src)
+	if tpl, ok := s.cache.get(key); ok {
+		return tpl, nil
+	}
+	tpl, err := plan.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, tpl)
+	return tpl, nil
+}
+
+// execute builds a fresh iterator tree from the template and streams its
+// rows. Past the 200 header, errors travel in the NDJSON trailer.
+func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.Template) {
+	it, _, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, plan.BuildOptions{
+		Metrics: s.cfg.Metrics,
+		Done:    ctx.Done(),
+	})
+	if err != nil {
+		s.m.rejPlan.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := it.Open(); err != nil {
+		s.m.rejPlan.Inc()
+		http.Error(w, fmt.Sprintf("server: open: %v", err), http.StatusInternalServerError)
+		return
+	}
+
+	sch := it.Schema()
+	rw := newRowWriter(sch)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var rows int64
+	var streamErr error
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		rec, ok, err := it.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		vals, err := sch.Decode(rec.Data)
+		if err == nil {
+			_, err = w.Write(rw.row(vals))
+		}
+		rec.Unfix()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		rows++
+		if flusher != nil && rows%int64(s.cfg.FlushEvery) == 0 {
+			flusher.Flush()
+		}
+	}
+	closeErr := it.Close()
+	s.m.rowsOut.Add(rows)
+
+	t := trailer{Status: "ok", Rows: rows}
+	switch {
+	case ctx.Err() != nil:
+		// Client disconnect or deadline: the exchange teardown already ran
+		// via Done + Close. The trailer is best-effort — on a disconnect
+		// nobody reads it.
+		s.m.canceled.Inc()
+		t.Status = "canceled"
+		t.Error = ctx.Err().Error()
+	case streamErr != nil && !errors.Is(streamErr, core.ErrCanceled):
+		t.Status = "error"
+		t.Error = streamErr.Error()
+	case closeErr != nil && !errors.Is(closeErr, core.ErrCanceled):
+		t.Status = "error"
+		t.Error = closeErr.Error()
+	}
+	_, _ = w.Write(t.render())
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// lifecycle tracks in-flight requests and the draining flag. It replaces
+// a bare WaitGroup because requests must atomically check "draining?"
+// while registering — Add racing Wait is not defined for WaitGroup.
+type lifecycle struct {
+	mu       sync.Mutex
+	inFlight int
+	draining bool
+	idle     chan struct{} // closed when draining and inFlight hits 0
+}
+
+func newLifecycle() *lifecycle {
+	return &lifecycle{idle: make(chan struct{})}
+}
+
+// enter registers a request; false means the server is draining.
+func (l *lifecycle) enter() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.draining {
+		return false
+	}
+	l.inFlight++
+	return true
+}
+
+func (l *lifecycle) exit() {
+	l.mu.Lock()
+	l.inFlight--
+	if l.draining && l.inFlight == 0 {
+		l.closeIdleLocked()
+	}
+	l.mu.Unlock()
+}
+
+func (l *lifecycle) beginDrain() {
+	l.mu.Lock()
+	if !l.draining {
+		l.draining = true
+		if l.inFlight == 0 {
+			l.closeIdleLocked()
+		}
+	}
+	l.mu.Unlock()
+}
+
+func (l *lifecycle) closeIdleLocked() {
+	select {
+	case <-l.idle:
+	default:
+		close(l.idle)
+	}
+}
+
+func (l *lifecycle) isDraining() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.draining
+}
+
+// wait blocks until drain completes or ctx expires.
+func (l *lifecycle) wait(ctx context.Context) error {
+	select {
+	case <-l.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}

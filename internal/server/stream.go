@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"math"
+	"strconv"
+
+	"repro/internal/record"
+)
+
+// rowWriter renders result rows as NDJSON objects keyed by the schema's
+// field names. The keys are JSON-marshaled once per query, and each row
+// is appended into one reused buffer, so the per-row cost is the value
+// rendering alone.
+type rowWriter struct {
+	keys [][]byte // `"name":` fragments, one per field
+	buf  []byte
+}
+
+func newRowWriter(s *record.Schema) *rowWriter {
+	w := &rowWriter{keys: make([][]byte, s.NumFields())}
+	for i := range w.keys {
+		name, _ := json.Marshal(s.Field(i).Name)
+		w.keys[i] = append(name, ':')
+	}
+	return w
+}
+
+// row renders one decoded row as a single JSON line (newline included).
+// The returned slice is valid until the next call.
+func (w *rowWriter) row(vals []record.Value) []byte {
+	b := w.buf[:0]
+	b = append(b, '{')
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, w.keys[i]...)
+		b = appendValue(b, v)
+	}
+	b = append(b, '}', '\n')
+	w.buf = b
+	return b
+}
+
+// appendValue renders a record value as JSON. Floats that JSON cannot
+// represent (NaN, ±Inf) become null rather than poisoning the stream;
+// bytes are base64, matching encoding/json's []byte convention.
+func appendValue(b []byte, v record.Value) []byte {
+	switch v.Kind {
+	case record.TInt:
+		return strconv.AppendInt(b, v.I, 10)
+	case record.TFloat:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return append(b, "null"...)
+		}
+		return strconv.AppendFloat(b, v.F, 'g', -1, 64)
+	case record.TBool:
+		return strconv.AppendBool(b, v.B)
+	case record.TString:
+		s, _ := json.Marshal(string(v.S))
+		return append(b, s...)
+	case record.TBytes:
+		n := base64.StdEncoding.EncodedLen(len(v.S))
+		b = append(b, '"')
+		off := len(b)
+		b = append(b, make([]byte, n)...)
+		base64.StdEncoding.Encode(b[off:], v.S)
+		return append(b, '"')
+	default:
+		return append(b, "null"...)
+	}
+}
+
+// trailer is the status object terminating every NDJSON response body.
+// Its presence distinguishes a complete result from a truncated one, and
+// carries errors that surface only after the 200 header is on the wire.
+type trailer struct {
+	Status string `json:"status"` // "ok", "error", or "canceled"
+	Rows   int64  `json:"rows"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (t trailer) render() []byte {
+	b, _ := json.Marshal(t)
+	return append(b, '\n')
+}
