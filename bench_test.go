@@ -71,6 +71,23 @@ func BenchmarkT1_PipelineNoFlowControl(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeE2EPlan is the end-to-end plan benchmark of the
+// committed BENCH_5.json baseline: the full Figure-2 topology (3→3→3→1,
+// three exchange boundaries, flow control, the standard 83-record
+// packets) from record creation to the sink. allocs/op here watches the
+// whole plan, so a per-record allocation regression anywhere in the
+// exchange path moves it by tens of thousands.
+func BenchmarkExchangeE2EPlan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig2aPoint(benchRecords, 83)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPass(b, res)
+	}
+}
+
 // BenchmarkFig2a sweeps the packet size on the 3→3→3→1 topology with
 // three slack packets, reproducing Figure 2a (and, on a log-log scale,
 // Figure 2b).

@@ -1,0 +1,176 @@
+// Command volcano-benchdiff compares `go test -bench` output against a
+// committed baseline (BENCH_5.json) and fails when a benchmark regressed
+// beyond a tolerance — the benchstat-style gate CI runs so throughput
+// and allocation regressions in the exchange hot path are caught before
+// merge, not after.
+//
+// Usage:
+//
+//	go test -bench X -benchmem -count 3 ./... | volcano-benchdiff -baseline BENCH_5.json
+//	volcano-benchdiff -in bench.txt -baseline BENCH_5.json -tolerance 0.20
+//	volcano-benchdiff -in bench.txt -write -out BENCH_5.json   # refresh the baseline
+//
+// Comparison rules: for every benchmark in the baseline that also
+// appears in the input, ns/op may grow by at most `tolerance` (default
+// 20%); allocs/op may grow by at most the same factor plus an absolute
+// slack of 2 (so setup-only counts do not flap on a single extra
+// allocation). When -count was used, the minimum across repeats is
+// compared — the minimum is the least noisy estimator of the true cost.
+// Baseline benchmarks missing from the input are an error: a gate that
+// silently stops measuring is worse than no gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional growth before failing")
+		write     = flag.Bool("write", false, "write a new baseline instead of comparing")
+		out       = flag.String("out", "", "output path for -write (default stdout)")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *write {
+		data, err := json.MarshalIndent(newBaseline(results), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(results), *out)
+		return
+	}
+
+	if *baseline == "" {
+		fatal(fmt.Errorf("-baseline required (or -write to create one)"))
+	}
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	report, failed := compare(base, results, *tolerance)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "volcano-benchdiff:", err)
+	os.Exit(2)
+}
+
+// baselineSchema versions the committed file so a future format change
+// fails loudly instead of comparing garbage.
+const baselineSchema = "volcano-bench-baseline/v1"
+
+type baseline struct {
+	Schema     string               `json:"schema"`
+	Benchmarks map[string]benchStat `json:"benchmarks"`
+}
+
+type benchStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func newBaseline(results map[string]benchStat) baseline {
+	return baseline{Schema: baselineSchema, Benchmarks: results}
+}
+
+func loadBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return b, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, baselineSchema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("%s: empty baseline", path)
+	}
+	return b, nil
+}
+
+// compare checks every baseline entry against the measured results and
+// renders a human-readable table. It returns failed=true when any
+// benchmark regressed beyond the tolerance or went missing.
+func compare(base baseline, got map[string]benchStat, tol float64) (string, bool) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out string
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		cur, ok := got[name]
+		if !ok {
+			out += fmt.Sprintf("MISSING  %s: in baseline but not in bench output\n", name)
+			failed = true
+			continue
+		}
+		status := "ok      "
+		var notes string
+		if want.NsPerOp > 0 {
+			growth := cur.NsPerOp/want.NsPerOp - 1
+			notes = fmt.Sprintf("ns/op %.0f -> %.0f (%+.1f%%)", want.NsPerOp, cur.NsPerOp, growth*100)
+			if growth > tol {
+				status = "REGRESS "
+				failed = true
+			}
+		}
+		// Absolute slack of 2 allocations: small integer counts must not
+		// flap when one extra setup allocation appears.
+		if limit := want.AllocsPerOp*(1+tol) + 2; cur.AllocsPerOp > limit {
+			status = "REGRESS "
+			notes += fmt.Sprintf("; allocs/op %.0f -> %.0f (limit %.0f)", want.AllocsPerOp, cur.AllocsPerOp, limit)
+			failed = true
+		}
+		out += fmt.Sprintf("%s%s: %s\n", status, name, notes)
+	}
+	if failed {
+		out += fmt.Sprintf("FAIL: regression beyond %.0f%% tolerance\n", tol*100)
+	} else {
+		out += fmt.Sprintf("PASS: %d benchmarks within %.0f%% of baseline\n", len(names), tol*100)
+	}
+	return out, failed
+}

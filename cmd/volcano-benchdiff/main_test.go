@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExchangeThroughput/producers=1-8         	     100	    500000 ns/op	        50.00 ns/record	   29248 B/op	      33 allocs/op
+BenchmarkExchangeThroughput/producers=1-8         	     100	    480000 ns/op	        48.00 ns/record	   29248 B/op	      31 allocs/op
+BenchmarkNetExchangeThroughput-8                  	      50	   4900000 ns/op	  106872 B/op	     215 allocs/op
+BenchmarkExchangeE2EPlan 	      20	  11000000 ns/op	 9500000 B/op	   24000 allocs/op
+PASS
+ok  	repro/internal/core	2.0s
+`
+
+func parseSample(t *testing.T) map[string]benchStat {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBench(t *testing.T) {
+	got := parseSample(t)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// The GOMAXPROCS suffix is stripped, repeats collapse to the minimum.
+	th, ok := got["BenchmarkExchangeThroughput/producers=1"]
+	if !ok {
+		t.Fatalf("missing throughput benchmark: %v", got)
+	}
+	if th.NsPerOp != 480000 || th.AllocsPerOp != 31 {
+		t.Fatalf("repeats not collapsed to minimum: %+v", th)
+	}
+	// A name with no suffix at all parses as-is.
+	if _, ok := got["BenchmarkExchangeE2EPlan"]; !ok {
+		t.Fatalf("missing e2e benchmark: %v", got)
+	}
+	if got["BenchmarkNetExchangeThroughput"].BytesPerOp != 106872 {
+		t.Fatalf("B/op not parsed: %+v", got["BenchmarkNetExchangeThroughput"])
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":              "BenchmarkFoo",
+		"BenchmarkFoo":                "BenchmarkFoo",
+		"BenchmarkFoo/producers=4-16": "BenchmarkFoo/producers=4",
+		"BenchmarkFoo/n=4":            "BenchmarkFoo/n=4", // =4 is not a procs suffix
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := newBaseline(map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	got := map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1150, AllocsPerOp: 12}, // +15% time, +2 allocs
+	}
+	report, failed := compare(base, got, 0.20)
+	if failed {
+		t.Fatalf("within-tolerance run failed:\n%s", report)
+	}
+	if !strings.Contains(report, "PASS") {
+		t.Fatalf("report missing PASS:\n%s", report)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	base := newBaseline(map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10},
+	})
+	got := map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1300, AllocsPerOp: 10}, // +30%
+	}
+	report, failed := compare(base, got, 0.20)
+	if !failed {
+		t.Fatalf("+30%% ns/op passed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESS") {
+		t.Fatalf("report missing REGRESS:\n%s", report)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := newBaseline(map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 30},
+	})
+	got := map[string]benchStat{
+		// ns/op fine, but a per-record allocation leak blows up allocs/op.
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10030},
+	}
+	report, failed := compare(base, got, 0.20)
+	if !failed {
+		t.Fatalf("allocation regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op") {
+		t.Fatalf("report does not name the allocation regression:\n%s", report)
+	}
+}
+
+// TestCompareAllocSlack pins the absolute slack: a couple of extra setup
+// allocations on a small count must not flap the gate.
+func TestCompareAllocSlack(t *testing.T) {
+	base := newBaseline(map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 0},
+	})
+	got := map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 2},
+	}
+	if report, failed := compare(base, got, 0.20); failed {
+		t.Fatalf("+2 allocs over a zero baseline failed the gate:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := newBaseline(map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 2000},
+	})
+	got := map[string]benchStat{
+		"BenchmarkA": {NsPerOp: 1000},
+	}
+	report, failed := compare(base, got, 0.20)
+	if !failed {
+		t.Fatalf("missing benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report missing MISSING:\n%s", report)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/base.json"
+	b := newBaseline(parseSample(t))
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(b.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(b.Benchmarks))
+	}
+}
+
+func TestBaselineSchemaRejected(t *testing.T) {
+	path := t.TempDir() + "/base.json"
+	if err := os.WriteFile(path, []byte(`{"schema":"wrong/v0","benchmarks":{"X":{}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseBench reads `go test -bench -benchmem` output and returns one
+// benchStat per benchmark name. The trailing -N GOMAXPROCS suffix is
+// stripped so baselines survive a core-count change on the CI runner.
+// When a benchmark appears several times (-count), the minimum of each
+// metric is kept: repeat noise is one-sided — interference only ever
+// makes a run slower — so the minimum estimates the true cost best.
+func parseBench(r io.Reader) (map[string]benchStat, error) {
+	out := make(map[string]benchStat)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: Name iterations value ns/op
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcs(fields[0])
+		st, ok := parseLine(fields)
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; seen {
+			st = benchStat{
+				NsPerOp:     min(prev.NsPerOp, st.NsPerOp),
+				BytesPerOp:  min(prev.BytesPerOp, st.BytesPerOp),
+				AllocsPerOp: min(prev.AllocsPerOp, st.AllocsPerOp),
+			}
+		}
+		out[name] = st
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// trimProcs removes the -N GOMAXPROCS suffix go test appends to the
+// benchmark name ("BenchmarkFoo-8" -> "BenchmarkFoo"). Sub-benchmark
+// slashes are kept: they are part of the identity.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseLine extracts the unit-tagged values from one benchmark line:
+// pairs of (value, unit) follow the iteration count.
+func parseLine(fields []string) (benchStat, bool) {
+	var st benchStat
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return st, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			st.NsPerOp = v
+			found = true
+		case "B/op":
+			st.BytesPerOp = v
+		case "allocs/op":
+			st.AllocsPerOp = v
+		}
+	}
+	return st, found
+}

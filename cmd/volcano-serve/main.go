@@ -53,6 +53,13 @@ type options struct {
 	planCache     int
 	drainTimeout  time.Duration
 
+	// Connection hygiene: zero values get production defaults in run()
+	// so the test seam is hardened the same way the flags are.
+	readHeaderTimeout time.Duration // slow-header (slowloris) bound
+	readTimeout       time.Duration // whole-request read bound (plan bodies are small)
+	idleTimeout       time.Duration // keep-alive idle bound
+	writeStall        time.Duration // per-flush write-stall bound (streams stay unbounded)
+
 	// readyHook, when set, is called with the bound listener address once
 	// the service accepts connections. Test seam.
 	readyHook func(addr string)
@@ -73,6 +80,10 @@ func main() {
 	flag.DurationVar(&o.maxQueryTime, "max-query-time", 0, "per-query execution deadline (0 = unbounded)")
 	flag.IntVar(&o.planCache, "plan-cache", 128, "compiled-plan LRU capacity (negative disables)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "longest to wait for in-flight queries on shutdown")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "longest a client may take to send request headers")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "longest a client may take to send a whole request")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "longest an idle keep-alive connection is held open")
+	flag.DurationVar(&o.writeStall, "write-stall-timeout", 2*time.Minute, "longest one result flush may block on a non-reading client")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -84,6 +95,20 @@ func main() {
 func run(o options) error {
 	if o.db == "" {
 		return fmt.Errorf("no database: use -db FILE (create one with volcano -db)")
+	}
+	// Options built directly (tests, embedding) get the same connection
+	// hygiene as the flag defaults; an explicit negative disables a bound.
+	if o.readHeaderTimeout == 0 {
+		o.readHeaderTimeout = 5 * time.Second
+	}
+	if o.readTimeout == 0 {
+		o.readTimeout = 30 * time.Second
+	}
+	if o.idleTimeout == 0 {
+		o.idleTimeout = 2 * time.Minute
+	}
+	if o.writeStall == 0 {
+		o.writeStall = 2 * time.Minute
 	}
 
 	// Storage: the served volume on a disk device, temp space for sorts
@@ -117,16 +142,17 @@ func run(o options) error {
 	core.RegisterMetrics(mr)
 
 	srv, err := server.New(server.Config{
-		Env:            env,
-		Catalog:        plan.VolumeCatalog{base},
-		CatalogVersion: catalogVersion(o.db, base),
-		MaxConcurrent:  o.maxConcurrent,
-		MaxProducers:   o.maxProducers,
-		MaxQueue:       o.maxQueue,
-		QueueWait:      o.queueWait,
-		MaxQueryTime:   o.maxQueryTime,
-		PlanCacheSize:  o.planCache,
-		Metrics:        mr,
+		Env:               env,
+		Catalog:           plan.VolumeCatalog{base},
+		CatalogVersion:    catalogVersion(o.db, base),
+		MaxConcurrent:     o.maxConcurrent,
+		MaxProducers:      o.maxProducers,
+		MaxQueue:          o.maxQueue,
+		QueueWait:         o.queueWait,
+		MaxQueryTime:      o.maxQueryTime,
+		PlanCacheSize:     o.planCache,
+		WriteStallTimeout: o.writeStall,
+		Metrics:           mr,
 	})
 	if err != nil {
 		return err
@@ -136,7 +162,18 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// Connection hygiene: a client that dribbles headers, never finishes
+	// its body, or parks an idle keep-alive connection is bounded here;
+	// the per-flush write-stall deadline for established streams lives in
+	// the server package (http.Server.WriteTimeout would cap total stream
+	// duration, which NDJSON streaming cannot accept). Negative flag
+	// values disable a bound (http.Server treats negative as none).
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "volcano-serve: %s: %d tables, %d indexes; serving on http://%s\n",

@@ -3,8 +3,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -102,7 +105,7 @@ func TestServeEndToEnd(t *testing.T) {
 		resp.Body.Close()
 		t.Fatalf("query status %d: %s", resp.StatusCode, body)
 	}
-	got, prev := 0, int64(1 << 60)
+	got, prev := 0, int64(1<<60)
 	sc := bufio.NewScanner(resp.Body)
 	var last map[string]any
 	for sc.Scan() {
@@ -156,6 +159,91 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not drain and exit")
+	}
+}
+
+// TestServeSlowHeaderClientIsDisconnected is the slowloris regression
+// test: a client that opens a connection and dribbles an incomplete
+// request header must be cut off by ReadHeaderTimeout instead of holding
+// the connection (and, behind admission control, eventually every
+// connection) open indefinitely.
+func TestServeSlowHeaderClientIsDisconnected(t *testing.T) {
+	db := buildTestDB(t, 10)
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(options{
+			db:                db,
+			addr:              "127.0.0.1:0",
+			frames:            256,
+			drainTimeout:      10 * time.Second,
+			readHeaderTimeout: 300 * time.Millisecond,
+			readyHook:         func(addr string) { ready <- addr },
+			stop:              stop,
+		})
+	}()
+	defer func() {
+		close(stop)
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not drain and exit")
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial header and then go silent, like a slowloris client.
+	if _, err := io.WriteString(conn, "POST /query HTTP/1.1\r\nHost: volcano\r\nX-Slow"); err != nil {
+		t.Fatal(err)
+	}
+	// The server must sever the connection around ReadHeaderTimeout; the
+	// read unblocks with EOF/reset. The generous bound guards against a
+	// regression to "held open indefinitely" without timing sensitivity.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatalf("connection still open %v after partial headers", time.Since(start))
+			}
+			break // EOF or reset: the server hung up.
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("server took %v to drop a slow-header client", elapsed)
+	}
+
+	// The service itself is unharmed: a well-formed query still works.
+	resp, err := http.Post("http://"+addr+"/query", "text/plain", strings.NewReader("scan emp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after slowloris: status %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
 	}
 }
 

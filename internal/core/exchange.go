@@ -27,7 +27,8 @@ import (
 type Exchange struct {
 	cfg    ExchangeConfig
 	port   *port
-	xid    int64 // distinguishes this hub's trace tracks
+	pool   *packetPool // bounded free list recycling drained packets
+	xid    int64       // distinguishes this hub's trace tracks
 	start  sync.Once
 	err    atomic.Value // first async error (type error)
 	closed int32        // consumers that have closed
@@ -163,7 +164,8 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 	// Flow control is meaningless (and a deadlock hazard) in inline mode:
 	// a member blocked on the semaphore could never drain its own queue.
 	fc := cfg.FlowControl && !cfg.Inline
-	x.port = newPort(cfg.Producers, cfg.Consumers, cfg.KeepStreams, fc, cfg.Slack)
+	x.pool = newPacketPool(cfg.Producers, cfg.Consumers, cfg.Slack, cfg.PacketSize)
+	x.port = newPort(cfg.Producers, cfg.Consumers, cfg.KeepStreams, fc, cfg.Slack, x.pool)
 	return x, nil
 }
 
@@ -211,6 +213,15 @@ type ExchangeStats struct {
 	Records   int64
 	Forks     int64
 	SpawnTime time.Duration
+	// PoolHits/PoolMisses/PoolDiscards report the packet free list:
+	// hits are refills that reused a drained packet, misses fell back to
+	// a fresh allocation (cold start, or the window outran the list),
+	// discards are returns dropped because the bounded list was full.
+	// A warmed-up steady state shows hits growing while misses and
+	// discards stay flat — the allocation-free hot path.
+	PoolHits     int64
+	PoolMisses   int64
+	PoolDiscards int64
 	// ProducerStall is cumulative time producers spent blocked on the
 	// flow-control semaphore ("after a producer has inserted a new packet
 	// into the port, it must request the flow control semaphore", §4.1).
@@ -223,11 +234,15 @@ type ExchangeStats struct {
 
 // Stats returns a snapshot of the hub's counters.
 func (x *Exchange) Stats() ExchangeStats {
+	hits, misses, discards := x.pool.stats()
 	return ExchangeStats{
 		Packets:       x.packetsSent.Load(),
 		Records:       x.recordsSent.Load(),
 		Forks:         x.forks.Load(),
 		SpawnTime:     time.Duration(x.spawnTime.Load()),
+		PoolHits:      hits,
+		PoolMisses:    misses,
+		PoolDiscards:  discards,
 		ProducerStall: time.Duration(x.port.stats.producerStall.Load()),
 		ConsumerWait:  time.Duration(x.port.stats.consumerWait.Load()),
 	}
@@ -408,10 +423,16 @@ func (x *Exchange) finishProducer(g int, out *outbox, input Iterator, tk *trace.
 		out.flush(true)
 	} else {
 		// Error before the outbox existed: still deliver tagged packets.
+		// These travel the same accounting path as outbox.push — bump the
+		// per-exchange counter before q.push so ExchangeStats and the
+		// process-wide metrics agree on every exit path.
 		for c, q := range x.port.queues {
 			tk.Instant1("exchange", "eos", "consumer", int64(c))
-			q.push(&packet{eos: true, err: x.firstErr(), producer: g}, tk)
+			p := x.pool.get(g)
+			p.eos = true
+			p.err = x.firstErr()
 			x.packetsSent.Add(1)
+			q.push(p, tk)
 		}
 	}
 	// Wait until the consumer allows closing all open files; necessary
@@ -457,8 +478,11 @@ func (x *Exchange) newOutbox(g int) *outbox {
 }
 
 // route places one record (whose pin the outbox now owns) into the proper
-// packet(s), pushing packets as they fill.
+// packet(s), pushing packets as they fill. The dirty flag is dropped once
+// here — ownership passes to a reader — so add (which broadcast invokes
+// once per consumer) appends the already-clean record without re-copying.
 func (o *outbox) route(r Rec) {
+	r = r.WithoutDirty()
 	if o.x.cfg.Broadcast {
 		// Pin once per additional consumer; never copy (§4.4).
 		r.Share(len(o.packets) - 1)
@@ -482,10 +506,10 @@ func (o *outbox) route(r Rec) {
 func (o *outbox) add(c int, r Rec) {
 	p := o.packets[c]
 	if p == nil {
-		p = &packet{recs: make([]Rec, 0, o.x.cfg.PacketSize), producer: o.g}
+		p = o.x.pool.get(o.g)
 		o.packets[c] = p
 	}
-	p.recs = append(p.recs, r.WithoutDirty())
+	p.recs = append(p.recs, r)
 	if len(p.recs) >= o.x.cfg.PacketSize {
 		o.push(c, false)
 	}
@@ -498,7 +522,7 @@ func (o *outbox) push(c int, eos bool) {
 		if !eos {
 			return
 		}
-		p = &packet{producer: o.g}
+		p = o.x.pool.get(o.g)
 	}
 	o.packets[c] = nil
 	p.eos = eos

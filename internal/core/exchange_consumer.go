@@ -104,8 +104,14 @@ func (c *xConsumer) Next() (Rec, bool, error) {
 		}
 		if c.cur != nil && c.cur.err != nil {
 			err := c.cur.err
+			c.x.pool.put(c.cur)
 			c.cur = nil
 			return Rec{}, false, err
+		}
+		if c.cur != nil {
+			// Every record has been handed out: return the drained packet
+			// to the free list instead of dropping it for the GC.
+			c.x.pool.put(c.cur)
 		}
 		c.cur, c.pos = nil, 0
 		if c.done {
@@ -179,6 +185,7 @@ func (c *xConsumer) Close() error {
 		for _, r := range c.cur.recs[c.pos:] {
 			r.Unfix()
 		}
+		c.x.pool.put(c.cur)
 		c.cur = nil
 	}
 	if c.x.cfg.Inline {
@@ -274,8 +281,12 @@ func (s *xStream) Next() (Rec, bool, error) {
 		}
 		if s.cur != nil && s.cur.err != nil {
 			err := s.cur.err
+			s.x.pool.put(s.cur)
 			s.cur = nil
 			return Rec{}, false, err
+		}
+		if s.cur != nil {
+			s.x.pool.put(s.cur)
 		}
 		s.cur, s.pos = nil, 0
 		if s.done {
@@ -304,6 +315,7 @@ func (s *xStream) Close() error {
 		for _, r := range s.cur.recs[s.pos:] {
 			r.Unfix()
 		}
+		s.x.pool.put(s.cur)
 		s.cur = nil
 	}
 	s.group.mu.Lock()

@@ -22,6 +22,9 @@ var (
 	xmProducersLive   atomic.Int64 // producer goroutines currently running
 	xmNetPackets      atomic.Int64 // packets serialised onto the wire (netexchange)
 	xmNetBytes        atomic.Int64 // wire bytes sent (netexchange)
+	xmPoolHits        atomic.Int64 // packet refills served from a free list
+	xmPoolMisses      atomic.Int64 // packet refills that had to allocate
+	xmPoolDiscards    atomic.Int64 // drained packets dropped because a free list was full
 )
 
 // RegisterMetrics exposes the exchange-protocol counters through a
@@ -44,6 +47,9 @@ func RegisterMetrics(r *metrics.Registry) {
 	seconds("volcano_exchange_consumer_wait_seconds_total", "Time consumers spent blocked waiting for packets.", &xmConsumerWaitNs)
 	counter("volcano_netexchange_packets_total", "Packets serialised onto the wire by netexchange.", &xmNetPackets)
 	counter("volcano_netexchange_wire_bytes_total", "Bytes sent over netexchange connections.", &xmNetBytes)
+	counter("volcano_exchange_pool_hits_total", "Packet refills served from an exchange free list.", &xmPoolHits)
+	counter("volcano_exchange_pool_misses_total", "Packet refills that fell back to a fresh allocation.", &xmPoolMisses)
+	counter("volcano_exchange_pool_discards_total", "Drained packets dropped because the bounded free list was full.", &xmPoolDiscards)
 	r.SetGaugeFunc("volcano_exchange_queue_depth", "Packets currently queued across all exchange ports.",
 		func() float64 { return float64(xmQueueDepth.Load()) })
 	r.SetGaugeFunc("volcano_exchange_producers_live", "Producer goroutines currently running.",

@@ -34,6 +34,7 @@ type NetExchange struct {
 	xid   int64
 
 	queues  []*netQueue
+	pool    *netPacketPool
 	done    sync.WaitGroup
 	bytes   atomic.Int64
 	packets atomic.Int64
@@ -75,19 +76,86 @@ type NetExchangeConfig struct {
 	Tracer *trace.Tracer
 }
 
-// netPacket carries copied record images.
+// netPacket carries copied record images. The images live in the
+// packet's own arena (buf): each record is appended to buf and recs
+// holds the per-record windows, so filling a recycled packet performs
+// no per-record heap allocation — the arena and the recs slice both
+// keep their capacity across lives. Entries stay valid even when a
+// later append grows buf: they keep referencing the earlier backing
+// array, which still holds their bytes.
 type netPacket struct {
+	buf  []byte
 	recs [][]byte
 	eos  bool
 	err  error
 	flow int64 // trace flow-arrow id (0 when untraced)
 }
 
+// add copies one record image into the packet's arena.
+func (p *netPacket) add(data []byte) {
+	off := len(p.buf)
+	p.buf = append(p.buf, data...)
+	p.recs = append(p.recs, p.buf[off:len(p.buf):len(p.buf)])
+}
+
+// netQueueDepth is the transmit window of the simulated link: how many
+// packets may sit in a consumer's channel before the sender blocks.
+const netQueueDepth = 8
+
 // netQueue is one consumer's input queue (bounded channel: the bound acts
 // as flow control, which a real network link always provides).
 type netQueue struct {
 	ch  chan *netPacket
 	eos int
+}
+
+// netPacketPool mirrors the shared-memory exchange's packet free list
+// for the wire packets: consumers return drained packets, producers
+// refill them. Same ownership rule — once a packet is sent on a queue
+// channel the producer must not read it again.
+type netPacketPool struct {
+	free     chan *netPacket
+	hits     atomic.Int64
+	misses   atomic.Int64
+	discards atomic.Int64
+}
+
+func newNetPacketPool(producers, consumers int) *netPacketPool {
+	bound := producers*(netQueueDepth+consumers) + consumers
+	return &netPacketPool{free: make(chan *netPacket, bound)}
+}
+
+func (pp *netPacketPool) get() *netPacket {
+	select {
+	case p := <-pp.free:
+		pp.hits.Add(1)
+		xmPoolHits.Add(1)
+		return p
+	default:
+		pp.misses.Add(1)
+		xmPoolMisses.Add(1)
+		return &netPacket{}
+	}
+}
+
+func (pp *netPacketPool) put(p *netPacket) {
+	if p == nil {
+		return
+	}
+	for i := range p.recs {
+		p.recs[i] = nil
+	}
+	p.recs = p.recs[:0]
+	p.buf = p.buf[:0]
+	p.eos = false
+	p.err = nil
+	p.flow = 0
+	select {
+	case pp.free <- p:
+	default:
+		pp.discards.Add(1)
+		xmPoolDiscards.Add(1)
+	}
 }
 
 // NewNetExchange validates the configuration.
@@ -111,8 +179,9 @@ func NewNetExchange(cfg NetExchangeConfig) (*NetExchange, error) {
 		return nil, errState("netexchange", "packet size out of range 1..255")
 	}
 	n := &NetExchange{cfg: cfg, xid: exchangeSeq.Add(1)}
+	n.pool = newNetPacketPool(cfg.Producers, cfg.Consumers)
 	for c := 0; c < cfg.Consumers; c++ {
-		n.queues = append(n.queues, &netQueue{ch: make(chan *netPacket, 8)})
+		n.queues = append(n.queues, &netQueue{ch: make(chan *netPacket, netQueueDepth)})
 	}
 	if cfg.Tracer.Enabled() {
 		// One trace pid per site: every group member models its own
@@ -146,6 +215,11 @@ func (n *NetExchange) Stats() (packets, bytes int64) {
 type NetExchangeStats struct {
 	Packets int64
 	Bytes   int64
+	// PoolHits/PoolMisses/PoolDiscards report the wire-packet free list
+	// (see ExchangeStats: same semantics, same steady-state expectation).
+	PoolHits     int64
+	PoolMisses   int64
+	PoolDiscards int64
 	// SendStall is cumulative time producers spent blocked on a full
 	// link (the transmit window), the network analogue of the in-process
 	// flow-control stall.
@@ -158,10 +232,13 @@ type NetExchangeStats struct {
 // NetStats returns a snapshot of all counters.
 func (n *NetExchange) NetStats() NetExchangeStats {
 	return NetExchangeStats{
-		Packets:   n.packets.Load(),
-		Bytes:     n.bytes.Load(),
-		SendStall: time.Duration(n.sendStall.Load()),
-		RecvWait:  time.Duration(n.recvWait.Load()),
+		Packets:      n.packets.Load(),
+		Bytes:        n.bytes.Load(),
+		PoolHits:     n.pool.hits.Load(),
+		PoolMisses:   n.pool.misses.Load(),
+		PoolDiscards: n.pool.discards.Load(),
+		SendStall:    time.Duration(n.sendStall.Load()),
+		RecvWait:     time.Duration(n.recvWait.Load()),
 	}
 }
 
@@ -221,6 +298,10 @@ func (n *NetExchange) producerLoop(g int) {
 			part = expr.RoundRobin(n.cfg.Consumers)
 		}
 	}
+	// Once a packet is handed to the queue channel it must not be read
+	// again: the consumer may drain and recycle it, and another producer
+	// may already be refilling it — so everything send needs (size, eos,
+	// trace ids) is taken before the channel send.
 	send := func(c int, eos bool) {
 		p := out[c]
 		out[c] = nil
@@ -228,7 +309,7 @@ func (n *NetExchange) producerLoop(g int) {
 			if !eos {
 				return
 			}
-			p = &netPacket{}
+			p = n.pool.get()
 		}
 		p.eos = eos
 		if eos {
@@ -265,10 +346,10 @@ func (n *NetExchange) producerLoop(g int) {
 	add := func(c int, data []byte) {
 		p := out[c]
 		if p == nil {
-			p = &netPacket{recs: make([][]byte, 0, n.cfg.PacketSize)}
+			p = n.pool.get()
 			out[c] = p
 		}
-		p.recs = append(p.recs, data)
+		p.add(data)
 		if len(p.recs) >= n.cfg.PacketSize {
 			send(c, false)
 		}
@@ -283,23 +364,23 @@ func (n *NetExchange) producerLoop(g int) {
 			break
 		}
 		// Shared-nothing boundary: copy the record image out of this
-		// machine's buffer and release the pin immediately.
-		data := append([]byte(nil), r.Data...)
-		r.Unfix()
-		if n.cfg.Broadcast {
+		// machine's buffer straight into the outgoing packet's arena,
+		// then release the pin — no intermediate per-record allocation.
+		switch {
+		case n.cfg.Broadcast:
 			for c := range out {
-				add(c, data)
+				add(c, r.Data)
 			}
-		} else if part != nil {
-			c := part(data)
-			if c < 0 || c >= len(out) {
+		case part != nil:
+			if c := part(r.Data); c < 0 || c >= len(out) {
 				n.setErr(fmt.Errorf("core: netexchange: partition returned %d", c))
-				continue
+			} else {
+				add(c, r.Data)
 			}
-			add(c, data)
-		} else {
-			add(0, data)
+		default:
+			add(0, r.Data)
 		}
+		r.Unfix()
 	}
 	for c := range out {
 		send(c, true)
@@ -320,7 +401,10 @@ func (n *NetExchange) broadcastEOS(tk *trace.Track) {
 		n.packets.Add(1)
 		xmNetPackets.Add(1)
 		tk.Instant1("exchange", "eos", "consumer", int64(c))
-		q.ch <- &netPacket{eos: true, err: n.firstErr()}
+		p := n.pool.get()
+		p.eos = true
+		p.err = n.firstErr()
+		q.ch <- p
 	}
 }
 
@@ -401,8 +485,14 @@ func (c *netConsumer) Next() (Rec, bool, error) {
 		}
 		if c.cur != nil && c.cur.err != nil {
 			err := c.cur.err
+			c.x.pool.put(c.cur)
 			c.cur = nil
 			return Rec{}, false, err
+		}
+		if c.cur != nil {
+			// Every image has been materialised into this machine's
+			// buffer: return the drained packet to the free list.
+			c.x.pool.put(c.cur)
 		}
 		c.cur, c.pos = nil, 0
 		if c.done {
@@ -425,6 +515,7 @@ func (c *netConsumer) Next() (Rec, bool, error) {
 				c.done = true
 			}
 			if len(p.recs) == 0 && p.err == nil {
+				c.x.pool.put(p)
 				continue
 			}
 		}
@@ -438,15 +529,20 @@ func (c *netConsumer) Close() error {
 		return errState("netexchange", "consumer close before open")
 	}
 	c.open = false
-	// Drain so producers never block on the bounded channel.
+	// Drain so producers never block on the bounded channel, recycling
+	// everything that was still in flight.
 	q := c.x.queues[c.idx]
 	for q.eos < c.x.cfg.Producers {
 		p := <-q.ch
 		if p.eos {
 			q.eos++
 		}
+		c.x.pool.put(p)
 	}
-	c.cur = nil
+	if c.cur != nil {
+		c.x.pool.put(c.cur)
+		c.cur = nil
+	}
 	err := c.w.Dispose()
 	c.w = nil
 	if e := c.x.firstErr(); err == nil && e != nil {

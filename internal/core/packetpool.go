@@ -1,0 +1,96 @@
+package core
+
+import "sync/atomic"
+
+// packetPool is the bounded free list that makes the steady-state
+// exchange data path allocation-free. In the paper, packets live in
+// pre-allocated shared-memory segments whose population is bounded by
+// the flow-control semaphore; in this port a drained packet is returned
+// here by the consumer instead of being dropped for the garbage
+// collector, and the next producer refill reuses it — including its
+// recs slice's capacity, so the append loop in outbox.add settles into
+// zero allocations per record.
+//
+// The free list is a buffered channel used non-blockingly from both
+// sides: get falls back to a fresh allocation when the list is empty
+// (a miss), put drops the packet when the list is full (a discard).
+// Both paths are correct — the pool is purely an optimisation — which
+// is what makes the recycling protocol safe against the shutdown
+// races: any path that is unsure whether a packet may be reused can
+// simply not return it.
+//
+// Ownership rule: a packet may be put only by the goroutine that owns
+// it exclusively — a consumer that drained it, queue.drain holding the
+// queue closed, or a producer whose push bounced off a closed queue.
+// Once put, the packet must not be touched again: reads of packet
+// fields after publication to a queue are forbidden (see queue.push,
+// which snapshots eos/len before inserting).
+type packetPool struct {
+	free       chan *packet
+	packetSize int
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	discards atomic.Int64
+}
+
+// newPacketPool sizes the free list to the flow-control window:
+// every producer may hold one partial packet per consumer plus Slack
+// packets in flight in the queues (the semaphore bound), and every
+// consumer holds at most one drained packet it has not yet returned —
+// Producers × (PacketsInFlight + Consumers) + Consumers packets total,
+// matching the paper's bounded-buffer design.
+func newPacketPool(producers, consumers, slack, packetSize int) *packetPool {
+	if slack < 1 {
+		slack = 1
+	}
+	bound := producers*(slack+consumers) + consumers
+	return &packetPool{free: make(chan *packet, bound), packetSize: packetSize}
+}
+
+// get returns a recycled packet, or a freshly allocated one when the
+// free list is empty. The packet arrives reset: zero-length recs (with
+// whatever capacity its previous life accumulated), no tags.
+func (pp *packetPool) get(producer int) *packet {
+	select {
+	case p := <-pp.free:
+		pp.hits.Add(1)
+		xmPoolHits.Add(1)
+		p.producer = producer
+		return p
+	default:
+		pp.misses.Add(1)
+		xmPoolMisses.Add(1)
+		return &packet{recs: make([]Rec, 0, pp.packetSize), producer: producer}
+	}
+}
+
+// put resets a drained packet and returns it to the free list, or
+// drops it for the GC when the list is full. The caller must own the
+// packet exclusively and must not touch it afterwards.
+func (pp *packetPool) put(p *packet) {
+	if p == nil {
+		return
+	}
+	// Clear stale record references so recycled packets do not pin the
+	// previous batch's Rec values in the backing array, then keep the
+	// capacity for the next refill.
+	for i := range p.recs {
+		p.recs[i] = Rec{}
+	}
+	p.recs = p.recs[:0]
+	p.eos = false
+	p.err = nil
+	p.flow = 0
+	select {
+	case pp.free <- p:
+	default:
+		pp.discards.Add(1)
+		xmPoolDiscards.Add(1)
+	}
+}
+
+// stats snapshots the pool counters.
+func (pp *packetPool) stats() (hits, misses, discards int64) {
+	return pp.hits.Load(), pp.misses.Load(), pp.discards.Load()
+}

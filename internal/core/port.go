@@ -17,6 +17,11 @@ import (
 // packet is the unit of data exchange: up to PacketSize NEXT_RECORD
 // structures, an end-of-stream tag, and (in this implementation) an error
 // slot so producer failures propagate to consumers.
+//
+// Packets are recycled through the exchange's packetPool: once a packet
+// has been inserted into a queue the producer must not read it again —
+// the consumer that pops it may drain it and return it to the pool,
+// where another producer can immediately claim and refill it.
 type packet struct {
 	recs     []Rec
 	eos      bool
@@ -37,6 +42,47 @@ type portStats struct {
 	consumerWait  atomic.Int64 // ns consumers spent blocked waiting for a packet
 }
 
+// packetFIFO is a queue of packets that reuses its backing array: pop
+// advances a head index instead of re-slicing, and push compacts the
+// live window to the front before appending when the array is full.
+// Once the array has grown to the queue's high-water mark the
+// steady-state push/pop cycle allocates nothing.
+type packetFIFO struct {
+	buf  []*packet
+	head int
+}
+
+func (f *packetFIFO) empty() bool { return f.head == len(f.buf) }
+
+// size reports the number of queued packets.
+func (f *packetFIFO) size() int { return len(f.buf) - f.head }
+
+func (f *packetFIFO) push(p *packet) {
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = nil
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, p)
+}
+
+func (f *packetFIFO) pop() *packet {
+	if f.empty() {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return p
+}
+
 // queue is one consumer's input queue. In merge mode (keepStreams) the
 // packets are kept separated by producer so a merge iterator can consume
 // each sorted stream individually (paper, §4.4).
@@ -44,9 +90,10 @@ type queue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	ps   *portStats
+	pool *packetPool
 
-	shared []*packet   // normal mode: one FIFO
-	byProd [][]*packet // merge mode: one FIFO per producer
+	shared packetFIFO   // normal mode: one FIFO
+	byProd []packetFIFO // merge mode: one FIFO per producer
 
 	eosSeen   int    // producers that have delivered their final packet
 	eosByProd []bool // merge mode: per-producer end-of-stream
@@ -58,11 +105,11 @@ type queue struct {
 	fc chan struct{}
 }
 
-func newQueue(producers int, keepStreams bool, flowControl bool, slack int, ps *portStats) *queue {
-	q := &queue{ps: ps}
+func newQueue(producers int, keepStreams bool, flowControl bool, slack int, ps *portStats, pool *packetPool) *queue {
+	q := &queue{ps: ps, pool: pool}
 	q.cond = sync.NewCond(&q.mu)
 	if keepStreams {
-		q.byProd = make([][]*packet, producers)
+		q.byProd = make([]packetFIFO, producers)
 		q.eosByProd = make([]bool, producers)
 	}
 	if flowControl {
@@ -82,28 +129,41 @@ func newQueue(producers int, keepStreams bool, flowControl bool, slack int, ps *
 // `slack` packets ahead ("after a producer has inserted a new packet into
 // the port, it must request the flow control semaphore", §4.1). tk is the
 // pushing producer's trace track (nil when tracing is off).
+//
+// The packet's fields are snapshotted before it becomes visible to the
+// consumer: the instant the queue mutex drops, the consumer may pop,
+// drain, and recycle the packet into the free list, where another
+// producer can claim and refill it — so reading p.eos or p.recs after
+// insertion would race with its next life.
 func (q *queue) push(p *packet, tk *trace.Track) {
+	eos := p.eos
+	nrecs := int64(len(p.recs))
 	q.mu.Lock()
 	if q.closed {
-		// Consumer is gone: release the records instead of queueing them.
+		// Consumer is gone: release the records and recycle the packet
+		// instead of queueing it. The packet was still pushed through the
+		// port, so the process-wide counters record it (keeping them
+		// consistent with the per-exchange packetsSent/recordsSent the
+		// outbox already counted), but it never contributes queue depth.
+		if eos {
+			q.noteEOS(p)
+			q.cond.Broadcast()
+		}
 		q.mu.Unlock()
 		for _, r := range p.recs {
 			r.Unfix()
 		}
-		if p.eos {
-			q.mu.Lock()
-			q.noteEOS(p)
-			q.cond.Broadcast()
-			q.mu.Unlock()
-		}
+		q.pool.put(p)
+		xmPackets.Add(1)
+		xmRecords.Add(nrecs)
 		return
 	}
 	if q.byProd != nil {
-		q.byProd[p.producer] = append(q.byProd[p.producer], p)
+		q.byProd[p.producer].push(p)
 	} else {
-		q.shared = append(q.shared, p)
+		q.shared.push(p)
 	}
-	if p.eos {
+	if eos {
 		q.noteEOS(p)
 	}
 	q.cond.Broadcast()
@@ -113,8 +173,8 @@ func (q *queue) push(p *packet, tk *trace.Track) {
 	xmQueueDepth.Add(1)
 	q.mu.Unlock()
 	xmPackets.Add(1)
-	xmRecords.Add(int64(len(p.recs)))
-	if q.fc != nil && !p.eos {
+	xmRecords.Add(nrecs)
+	if q.fc != nil && !eos {
 		q.takeToken(tk)
 	}
 }
@@ -168,12 +228,8 @@ func (q *queue) noteEOS(p *packet) {
 // empty (returns nil).
 func (q *queue) pop(producers int, tk *trace.Track) *packet {
 	q.mu.Lock()
-	q.waitLocked(tk, func() bool { return len(q.shared) > 0 || q.eosSeen >= producers })
-	var p *packet
-	if len(q.shared) > 0 {
-		p = q.shared[0]
-		q.shared = q.shared[1:]
-	}
+	q.waitLocked(tk, func() bool { return !q.shared.empty() || q.eosSeen >= producers })
+	p := q.shared.pop()
 	q.mu.Unlock()
 	if p != nil {
 		xmQueueDepth.Add(-1)
@@ -188,12 +244,8 @@ func (q *queue) pop(producers int, tk *trace.Track) *packet {
 // Returns nil when that stream has delivered end-of-stream and is empty.
 func (q *queue) popFrom(producer int, tk *trace.Track) *packet {
 	q.mu.Lock()
-	q.waitLocked(tk, func() bool { return len(q.byProd[producer]) > 0 || q.eosByProd[producer] })
-	var p *packet
-	if l := q.byProd[producer]; len(l) > 0 {
-		p = l[0]
-		q.byProd[producer] = l[1:]
-	}
+	q.waitLocked(tk, func() bool { return !q.byProd[producer].empty() || q.eosByProd[producer] })
+	p := q.byProd[producer].pop()
 	q.mu.Unlock()
 	if p != nil {
 		xmQueueDepth.Add(-1)
@@ -210,15 +262,13 @@ func (q *queue) tryPop() *packet {
 	var p *packet
 	if q.byProd != nil {
 		for i := range q.byProd {
-			if len(q.byProd[i]) > 0 {
-				p = q.byProd[i][0]
-				q.byProd[i] = q.byProd[i][1:]
+			if !q.byProd[i].empty() {
+				p = q.byProd[i].pop()
 				break
 			}
 		}
-	} else if len(q.shared) > 0 {
-		p = q.shared[0]
-		q.shared = q.shared[1:]
+	} else {
+		p = q.shared.pop()
 	}
 	q.mu.Unlock()
 	if p != nil {
@@ -230,17 +280,19 @@ func (q *queue) tryPop() *packet {
 	return p
 }
 
-// drain unfixes everything still queued (consumer shutdown) and marks the
-// queue closed so producers stop queueing into it.
+// drain unfixes everything still queued (consumer shutdown), recycles the
+// packets, and marks the queue closed so producers stop queueing into it.
 func (q *queue) drain() {
 	q.mu.Lock()
 	q.closed = true
 	var all []*packet
-	all = append(all, q.shared...)
-	q.shared = nil
+	for !q.shared.empty() {
+		all = append(all, q.shared.pop())
+	}
 	for i := range q.byProd {
-		all = append(all, q.byProd[i]...)
-		q.byProd[i] = nil
+		for !q.byProd[i].empty() {
+			all = append(all, q.byProd[i].pop())
+		}
 	}
 	q.mu.Unlock()
 	xmQueueDepth.Add(-int64(len(all)))
@@ -248,7 +300,9 @@ func (q *queue) drain() {
 		for _, r := range p.recs {
 			r.Unfix()
 		}
-		if q.fc != nil && !p.eos {
+		eos := p.eos
+		q.pool.put(p)
+		if q.fc != nil && !eos {
 			q.fc <- struct{}{}
 		}
 	}
@@ -279,10 +333,10 @@ type port struct {
 	producersDone sync.WaitGroup
 }
 
-func newPort(producers, consumers int, keepStreams, flowControl bool, slack int) *port {
+func newPort(producers, consumers int, keepStreams, flowControl bool, slack int, pool *packetPool) *port {
 	pt := &port{allowClose: make(chan struct{})}
 	for i := 0; i < consumers; i++ {
-		pt.queues = append(pt.queues, newQueue(producers, keepStreams, flowControl, slack, &pt.stats))
+		pt.queues = append(pt.queues, newQueue(producers, keepStreams, flowControl, slack, &pt.stats, pool))
 	}
 	return pt
 }

@@ -9,7 +9,7 @@ import (
 // flow-control semaphore's token conservation, and drain semantics.
 
 func TestQueuePushPopFIFO(t *testing.T) {
-	q := newQueue(1, false, false, 0, &portStats{})
+	q := newQueue(1, false, false, 0, &portStats{}, newPacketPool(1, 1, 1, 8))
 	for i := 0; i < 5; i++ {
 		q.push(&packet{producer: i}, nil)
 	}
@@ -22,7 +22,7 @@ func TestQueuePushPopFIFO(t *testing.T) {
 }
 
 func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
-	q := newQueue(2, false, false, 0, &portStats{})
+	q := newQueue(2, false, false, 0, &portStats{}, newPacketPool(2, 1, 1, 8))
 	q.push(&packet{producer: 0, eos: true}, nil)
 	q.push(&packet{producer: 1, eos: true}, nil)
 	// Two tagged packets pop normally, then nil.
@@ -35,7 +35,7 @@ func TestQueuePopReturnsNilAfterAllEOS(t *testing.T) {
 }
 
 func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
-	q := newQueue(1, false, true, 2, &portStats{})
+	q := newQueue(1, false, true, 2, &portStats{}, newPacketPool(1, 1, 2, 8))
 	// Two pushes consume both tokens without blocking.
 	done := make(chan struct{})
 	go func() {
@@ -70,7 +70,7 @@ func TestQueueFlowControlBlocksAtSlack(t *testing.T) {
 }
 
 func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
-	q := newQueue(1, false, true, 1, &portStats{})
+	q := newQueue(1, false, true, 1, &portStats{}, newPacketPool(1, 1, 1, 8))
 	q.push(&packet{}, nil) // consumes the only token
 	done := make(chan struct{})
 	go func() {
@@ -85,7 +85,7 @@ func TestQueueEOSPacketsBypassFlowControl(t *testing.T) {
 }
 
 func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
-	q := newQueue(1, false, true, 1, &portStats{})
+	q := newQueue(1, false, true, 1, &portStats{}, newPacketPool(1, 1, 1, 8))
 	q.push(&packet{}, nil)
 	blocked := make(chan struct{})
 	go func() {
@@ -102,7 +102,7 @@ func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 	// Pushes after drain are discarded, but EOS still counts.
 	q.push(&packet{eos: true}, nil)
 	q.mu.Lock()
-	eos, nq := q.eosSeen, len(q.shared)
+	eos, nq := q.eosSeen, q.shared.size()
 	q.mu.Unlock()
 	if eos != 1 || nq != 0 {
 		t.Fatalf("after drain: eos=%d queued=%d", eos, nq)
@@ -110,7 +110,7 @@ func TestQueueDrainReleasesBlockedProducerAndDiscardsLater(t *testing.T) {
 }
 
 func TestQueueKeepStreamsPopFrom(t *testing.T) {
-	q := newQueue(2, true, false, 0, &portStats{})
+	q := newQueue(2, true, false, 0, &portStats{}, newPacketPool(2, 1, 1, 8))
 	q.push(&packet{producer: 1}, nil)
 	q.push(&packet{producer: 0}, nil)
 	q.push(&packet{producer: 1, eos: true}, nil)
@@ -131,7 +131,7 @@ func TestQueueKeepStreamsPopFrom(t *testing.T) {
 }
 
 func TestQueueTryPop(t *testing.T) {
-	q := newQueue(1, false, false, 0, &portStats{})
+	q := newQueue(1, false, false, 0, &portStats{}, newPacketPool(1, 1, 1, 8))
 	if q.tryPop() != nil {
 		t.Fatal("tryPop on empty queue returned a packet")
 	}

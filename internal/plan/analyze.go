@@ -120,6 +120,9 @@ func (a *Analysis) ExchangeStats(n *Node) core.ExchangeStats {
 		sum.Packets += st.Packets
 		sum.Records += st.Records
 		sum.Forks += st.Forks
+		sum.PoolHits += st.PoolHits
+		sum.PoolMisses += st.PoolMisses
+		sum.PoolDiscards += st.PoolDiscards
 		sum.SpawnTime += st.SpawnTime
 		sum.ProducerStall += st.ProducerStall
 		sum.ConsumerWait += st.ConsumerWait
@@ -174,8 +177,9 @@ func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
 	sb.WriteByte('\n')
 	if n.Kind == KindExchange {
 		x := a.ExchangeStats(n)
-		fmt.Fprintf(sb, "%s  {packets=%d records=%d forks=%d stall=%v wait=%v}\n",
+		fmt.Fprintf(sb, "%s  {packets=%d records=%d forks=%d pool=%dh/%dm/%dd stall=%v wait=%v}\n",
 			indent, x.Packets, x.Records, x.Forks,
+			x.PoolHits, x.PoolMisses, x.PoolDiscards,
 			x.ProducerStall.Round(time.Microsecond), x.ConsumerWait.Round(time.Microsecond))
 	}
 	for _, in := range n.Inputs {

@@ -75,6 +75,11 @@ func TestBuildAnalyzedParallelAggregatesInstances(t *testing.T) {
 	if xs.Forks != 3 {
 		t.Fatalf("exchange forks = %d, want 3", xs.Forks)
 	}
+	// Every packet pushed was obtained by exactly one pool get, so the
+	// aggregated stats must carry the pool counters through intact.
+	if xs.PoolHits+xs.PoolMisses != xs.Packets {
+		t.Fatalf("pool hits %d + misses %d != packets %d", xs.PoolHits, xs.PoolMisses, xs.Packets)
+	}
 	out := an.String()
 	for _, want := range []string{"packets=", "stall=", "wait=", "buffer: fixes="} {
 		if !strings.Contains(out, want) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"repro/internal/plan"
@@ -85,6 +86,36 @@ func (c *planCache) put(key string, tpl *plan.Template) {
 		delete(c.byKey, old.key)
 		c.m.cacheEvictions.Inc()
 	}
+}
+
+// purgeExcept removes every entry that does not belong to the given
+// catalog version and reports how many were dropped. Stale entries can
+// never hit again — their keys embed the old version — so leaving them
+// to age out of the LRU would waste up to the whole capacity on dead
+// templates after a catalog swap; a version bump reclaims them at once.
+// O(len) over at most cap entries, and version bumps are rare.
+func (c *planCache) purgeExcept(version string) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	prefix := version + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if !strings.HasPrefix(e.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.byKey, e.key)
+			purged++
+		}
+	}
+	if purged > 0 {
+		c.m.cacheInvalid.Add(int64(purged))
+	}
+	return purged
 }
 
 // len reports the number of cached templates (tests).

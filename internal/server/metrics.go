@@ -29,6 +29,7 @@ type serverMetrics struct {
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
 	cacheEvictions *metrics.Counter
+	cacheInvalid   *metrics.Counter // entries purged by a catalog-version bump
 }
 
 // rejectionCounter maps an AdmitError reason to its counter. Unknown
@@ -87,5 +88,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		"Plan-cache lookups that had to compile.")
 	m.cacheEvictions = r.Counter("volcano_server_plan_cache_evictions_total",
 		"Templates evicted from the plan cache.")
+	m.cacheInvalid = r.Counter("volcano_server_plan_cache_invalidations_total",
+		"Templates purged from the plan cache by a catalog-version bump.")
 	return m
 }

@@ -51,6 +51,15 @@ type Config struct {
 	MaxQueryTime time.Duration
 	// MaxPlanBytes bounds the request body (default 64 KiB).
 	MaxPlanBytes int64
+	// WriteStallTimeout bounds how long one flush of the result stream may
+	// sit in the kernel's send buffer with the client not reading before
+	// the connection is severed (0 = unbounded). It is a per-write
+	// deadline, not a whole-response deadline: a long-running query that
+	// streams for minutes is fine as long as the client keeps consuming.
+	// This is what http.Server.WriteTimeout cannot express — that timeout
+	// would kill every stream longer than its budget regardless of client
+	// behaviour.
+	WriteStallTimeout time.Duration
 	// PlanCacheSize is the LRU capacity in templates (default 128; a
 	// negative value disables the cache).
 	PlanCacheSize int
@@ -96,6 +105,11 @@ type Server struct {
 	cache *planCache
 	life  *lifecycle
 	mux   *http.ServeMux
+
+	// catalogVersion is the current plan-cache epoch, seeded from
+	// Config.CatalogVersion and bumped by SetCatalogVersion.
+	verMu          sync.RWMutex
+	catalogVersion string
 }
 
 // New builds a Server. The caller owns the listener; Handler returns the
@@ -107,12 +121,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	m := newServerMetrics(cfg.Metrics)
 	s := &Server{
-		cfg:   cfg,
-		m:     m,
-		gov:   newGovernor(cfg.MaxConcurrent, cfg.MaxProducers, cfg.MaxQueue, m),
-		cache: newPlanCache(cfg.PlanCacheSize, m),
-		life:  newLifecycle(),
-		mux:   http.NewServeMux(),
+		cfg:            cfg,
+		m:              m,
+		gov:            newGovernor(cfg.MaxConcurrent, cfg.MaxProducers, cfg.MaxQueue, m),
+		cache:          newPlanCache(cfg.PlanCacheSize, m),
+		life:           newLifecycle(),
+		mux:            http.NewServeMux(),
+		catalogVersion: cfg.CatalogVersion,
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -203,9 +218,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.execute(w, qctx, tpl)
 }
 
+// SetCatalogVersion bumps the plan-cache epoch: subsequent lookups key
+// on the new version, and every template cached under any other version
+// is purged immediately — stale entries can never hit again, so leaving
+// them to age out of the LRU would squat on capacity that live plans
+// need. In-flight queries already holding a template are unaffected
+// (templates are immutable). Setting the same version is a no-op.
+func (s *Server) SetCatalogVersion(v string) {
+	s.verMu.Lock()
+	changed := s.catalogVersion != v
+	s.catalogVersion = v
+	s.verMu.Unlock()
+	if changed {
+		s.cache.purgeExcept(v)
+	}
+}
+
+// currentCatalogVersion reads the plan-cache epoch.
+func (s *Server) currentCatalogVersion() string {
+	s.verMu.RLock()
+	defer s.verMu.RUnlock()
+	return s.catalogVersion
+}
+
 // compile resolves a plan source to a template via the cache.
 func (s *Server) compile(src string) (*plan.Template, error) {
-	key := cacheKey(s.cfg.CatalogVersion, src)
+	key := cacheKey(s.currentCatalogVersion(), src)
 	if tpl, ok := s.cache.get(key); ok {
 		return tpl, nil
 	}
@@ -239,6 +277,19 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 	rw := newRowWriter(sch)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
+	// Arm the per-write stall deadline and push it forward before every
+	// flush: a client that stops reading stalls the next write until the
+	// deadline severs the connection, which cancels the request context
+	// and tears the iterator tree down through the exchange handshake.
+	// Best-effort — ResponseRecorder and other wrappers that cannot set
+	// deadlines just leave the stream unbounded, as before.
+	rc := http.NewResponseController(w)
+	bumpDeadline := func() {
+		if s.cfg.WriteStallTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteStallTimeout))
+		}
+	}
+	bumpDeadline()
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
@@ -267,6 +318,7 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 		}
 		rows++
 		if flusher != nil && rows%int64(s.cfg.FlushEvery) == 0 {
+			bumpDeadline()
 			flusher.Flush()
 		}
 	}
@@ -289,6 +341,7 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 		t.Status = "error"
 		t.Error = closeErr.Error()
 	}
+	bumpDeadline()
 	_, _ = w.Write(t.render())
 	if flusher != nil {
 		flusher.Flush()
