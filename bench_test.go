@@ -88,6 +88,24 @@ func BenchmarkExchangeE2EPlan(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeE2EPlanBatch is BenchmarkExchangeE2EPlan under the
+// batch-at-a-time protocol: the same 3→3→3→1 topology and 83-record
+// packets, with generators, exchange producers and the sink all moving
+// batches of 83 records. The gap to the row benchmark is the measured
+// worth of the batch protocol — amortised iterator calls, scratch-buffer
+// encoding and wholesale packet lending; the committed BENCH_6.json
+// baseline pins it against regression.
+func BenchmarkExchangeE2EPlanBatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig2aPointBatch(benchRecords, 83, 83)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPass(b, res)
+	}
+}
+
 // BenchmarkFig2a sweeps the packet size on the 3→3→3→1 topology with
 // three slack packets, reproducing Figure 2a (and, on a log-log scale,
 // Figure 2b).

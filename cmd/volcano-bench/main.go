@@ -54,6 +54,10 @@ type options struct {
 	exp      string
 	records  int
 	joinRows int
+	// batch, when positive, also runs the Figure-2a pipeline under the
+	// batch-at-a-time protocol with this batch size and prints the
+	// row-vs-batch comparison.
+	batch    int
 	jsonPath string
 	// tracePath records one traced pipeline pass as Chrome trace JSON.
 	tracePath string
@@ -82,6 +86,7 @@ func main() {
 	flag.StringVar(&o.exp, "exp", "all", "experiment: t1, fig2a, fig2b, ablations, all")
 	flag.IntVar(&o.records, "records", bench.PaperRecords, "records for the record-passing program")
 	flag.IntVar(&o.joinRows, "joinrows", 20000, "rows per side for the match ablation")
+	flag.IntVar(&o.batch, "batch", 0, "also run the pipeline pass under the batch protocol with this batch size and print the row-vs-batch comparison (0 = off)")
 	flag.StringVar(&o.jsonPath, "json", "", "write machine-readable results (stable schema) to this file")
 	flag.StringVar(&o.tracePath, "trace", "", "run one traced pipeline pass and write Chrome trace-event JSON to this file")
 	flag.BoolVar(&o.analyze, "analyze", false, "run one instrumented pipeline pass and print the per-stage breakdown with latency quantiles")
@@ -158,6 +163,24 @@ func run(o options) error {
 		fmt.Fprintln(w)
 		report.Fig2a = r.JSONPoints()
 		report.Fig2bSlopes = r.JSONSlopes()
+	}
+
+	if o.batch > 0 {
+		// Same topology and packet size as the Figure-2a sweet spot, once
+		// record-at-a-time and once under the batch protocol.
+		row, err := bench.RunFig2aPoint(o.records, 83)
+		if err != nil {
+			return fmt.Errorf("batch comparison (row pass): %w", err)
+		}
+		bat, err := bench.RunFig2aPointBatch(o.records, 83, o.batch)
+		if err != nil {
+			return fmt.Errorf("batch comparison (batch pass): %w", err)
+		}
+		fmt.Fprintf(w, "Batch protocol (batch size %d, packet 83, %d records):\n", o.batch, o.records)
+		fmt.Fprintf(w, "  record-at-a-time: %v (%v/record)\n", row.Elapsed.Round(time.Microsecond), row.PerRecord)
+		fmt.Fprintf(w, "  batch-at-a-time:  %v (%v/record), %.2fx speedup\n\n",
+			bat.Elapsed.Round(time.Microsecond), bat.PerRecord,
+			float64(row.Elapsed)/float64(bat.Elapsed))
 	}
 
 	if runAbl {

@@ -52,6 +52,9 @@ type options struct {
 	maxQueryTime  time.Duration
 	planCache     int
 	drainTimeout  time.Duration
+	// batch, when positive, executes every query under the batch-at-a-time
+	// protocol by default; requests override per query with X-Volcano-Batch.
+	batch int
 
 	// Connection hygiene: zero values get production defaults in run()
 	// so the test seam is hardened the same way the flags are.
@@ -79,6 +82,7 @@ func main() {
 	flag.DurationVar(&o.queueWait, "queue-wait", 10*time.Second, "longest a query waits for admission before a 503")
 	flag.DurationVar(&o.maxQueryTime, "max-query-time", 0, "per-query execution deadline (0 = unbounded)")
 	flag.IntVar(&o.planCache, "plan-cache", 128, "compiled-plan LRU capacity (negative disables)")
+	flag.IntVar(&o.batch, "batch", 0, "default batch size for query execution, overridable per request with X-Volcano-Batch (0 = record-at-a-time)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "longest to wait for in-flight queries on shutdown")
 	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "longest a client may take to send request headers")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "longest a client may take to send a whole request")
@@ -152,6 +156,7 @@ func run(o options) error {
 		MaxQueryTime:      o.maxQueryTime,
 		PlanCacheSize:     o.planCache,
 		WriteStallTimeout: o.writeStall,
+		BatchSize:         o.batch,
 		Metrics:           mr,
 	})
 	if err != nil {

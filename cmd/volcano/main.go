@@ -64,12 +64,16 @@ report, the trace file, and a scrapeable endpoint at once.
 // options carries everything a volcano invocation needs; flags in main
 // fill one in, tests construct them directly.
 type options struct {
-	planFile  string
-	query     string
-	frames    int
-	explain   bool
-	analyze   bool
-	maxRows   int
+	planFile string
+	query    string
+	frames   int
+	explain  bool
+	analyze  bool
+	maxRows  int
+	// batch, when positive, builds and drives the plan under the
+	// batch-at-a-time protocol: operators consume their inputs in batches
+	// of this size and the result printer drains the root via NextBatch.
+	batch     int
 	db        string
 	dbPages   int
 	tracePath string
@@ -97,6 +101,7 @@ func main() {
 	flag.BoolVar(&o.explain, "explain", false, "print the plan instead of running it")
 	flag.BoolVar(&o.analyze, "analyze", false, "after running, print the plan with per-operator statistics")
 	flag.IntVar(&o.maxRows, "maxrows", 0, "print at most this many rows (0 = all)")
+	flag.IntVar(&o.batch, "batch", 0, "run under the batch-at-a-time protocol with this batch size (0 = record-at-a-time)")
 	flag.StringVar(&o.db, "db", "", "durable database file: created if absent, loaded tables persist")
 	flag.IntVar(&o.dbPages, "dbpages", 1<<18, "capacity in pages when creating a new -db file")
 	flag.StringVar(&o.tracePath, "trace", "", "record the run and write Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
@@ -258,31 +263,20 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "partitioned %s into %d files\n", name, k)
 	}
 
-	var it core.Iterator
-	var analysis *plan.Analysis
-	switch {
-	case o.analyze || mr.Enabled():
-		// -metrics implies the observed build even without -analyze: the
-		// operator-latency histograms live in the registry's children.
-		var err error
-		it, analysis, err = plan.BuildObserved(env, cat, node, tracer, mr)
-		if err != nil {
-			return err
-		}
-	case tracer.Enabled():
-		var err error
-		it, err = plan.BuildTraced(env, cat, node, tracer)
-		if err != nil {
-			return err
-		}
-	default:
-		var err error
-		it, err = plan.Build(env, cat, node)
-		if err != nil {
-			return err
-		}
+	// BuildWith composes all the facilities: -metrics implies the observed
+	// build even without -analyze (the operator-latency histograms live in
+	// the registry's children), and -batch switches every batch-capable
+	// operator and exchange boundary to the batch protocol.
+	it, analysis, err := plan.BuildWith(env, cat, node, plan.BuildOptions{
+		Analyze:   o.analyze,
+		Tracer:    tracer,
+		Metrics:   mr,
+		BatchSize: o.batch,
+	})
+	if err != nil {
+		return err
 	}
-	if err := printResult(it, o.maxRows); err != nil {
+	if err := printResult(it, o.maxRows, o.batch); err != nil {
 		return err
 	}
 	if analysis != nil && o.analyze {
@@ -444,7 +438,7 @@ func partitionTable(vol *file.Volume, src *file.File, name string, k int) error 
 	}
 }
 
-func printResult(it core.Iterator, maxRows int) error {
+func printResult(it core.Iterator, maxRows, batch int) error {
 	if err := it.Open(); err != nil {
 		return err
 	}
@@ -454,6 +448,9 @@ func printResult(it core.Iterator, maxRows int) error {
 		header = append(header, sch.Field(i).Name)
 	}
 	fmt.Println(strings.Join(header, "\t"))
+	if batch > 0 {
+		return printBatches(it, sch, maxRows, batch)
+	}
 	n := 0
 	for {
 		r, ok, err := it.Next()
@@ -479,6 +476,43 @@ func printResult(it core.Iterator, maxRows int) error {
 		}
 		r.Unfix()
 		n++
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
+	return it.Close()
+}
+
+// printBatches drains the root through the batch protocol: one NextBatch
+// refill per batch, printing each record and releasing the whole batch's
+// pins in one coalesced pass.
+func printBatches(it core.Iterator, sch *record.Schema, maxRows, batch int) error {
+	src := core.AsBatch(it)
+	b := core.NewBatch(batch)
+	n := 0
+	for {
+		if err := src.NextBatch(b); err != nil {
+			_ = it.Close()
+			return err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		for _, r := range b.Recs() {
+			if maxRows == 0 || n < maxRows {
+				vals, err := sch.Decode(r.Data)
+				if err != nil {
+					b.Release()
+					_ = it.Close()
+					return err
+				}
+				cells := make([]string, len(vals))
+				for i, v := range vals {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, "\t"))
+			}
+			n++
+		}
+		b.Release()
 	}
 	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
 	return it.Close()

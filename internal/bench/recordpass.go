@@ -29,6 +29,12 @@ type PassConfig struct {
 	// Groups is the producer-group size at each boundary for the
 	// Figure-2 topology; len(Groups) == Stages. nil = all size 1.
 	Groups []int
+	// BatchSize, when positive, runs the whole pass under the
+	// batch-at-a-time protocol: generators encode through a reusable
+	// scratch and emit batches, every exchange boundary pulls and routes
+	// its producers' records in batches, and the sink drains the root
+	// through NextBatch. Zero keeps record-at-a-time operation.
+	BatchSize int
 	// Analyze instruments the run: the sink is wrapped in a
 	// core.Instrumented and every exchange hub's port counters are
 	// reported in PassResult.Breakdown. Off by default so the measured
@@ -68,7 +74,14 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 	if cfg.Records <= 0 {
 		return PassResult{}, fmt.Errorf("bench: no records to pass")
 	}
-	frames := 2048
+	// Size the pool to the workload: the pass keeps roughly one page per
+	// hundred records live (generator temp files plus in-flight packets),
+	// so records/40 leaves better than 2x headroom. The floor covers
+	// small runs; the cap bounds setup cost at paper scale.
+	frames := cfg.Records/80 + 256
+	if frames > 4096 {
+		frames = 4096
+	}
 	w, err := NewWorld(frames, 0)
 	if err != nil {
 		return PassResult{}, err
@@ -103,7 +116,12 @@ func RunPass(cfg PassConfig) (PassResult, error) {
 	poolBase := w.Pool.Stats()
 
 	start := time.Now()
-	n, err := core.Drain(root)
+	var n int
+	if cfg.BatchSize > 0 {
+		n, err = core.DrainBatch(root, cfg.BatchSize)
+	} else {
+		n, err = core.Drain(root)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		return PassResult{}, err
@@ -186,7 +204,11 @@ func buildPassTree(w *World, cfg PassConfig, hubs *[]*core.Exchange) (core.Itera
 				if g < extra {
 					n++
 				}
-				return NewGen(w.Env, n, int64(g)*1_000_000), nil
+				gen := NewGen(w.Env, n, int64(g)*1_000_000)
+				if cfg.BatchSize > 0 {
+					gen.EnableBatch(cfg.BatchSize)
+				}
+				return gen, nil
 			}
 		}
 		lower := makeLevel(stage - 1)
@@ -204,6 +226,7 @@ func buildPassTree(w *World, cfg PassConfig, hubs *[]*core.Exchange) (core.Itera
 			Slack:       cfg.Slack,
 			Inline:      cfg.Inline,
 			Tracer:      cfg.Tracer,
+			BatchSize:   cfg.BatchSize,
 			NewProducer: func(g int) (core.Iterator, error) { return lower(g) },
 		})
 		if err != nil {
@@ -261,5 +284,23 @@ func RunFig2aPoint(records, packetSize int) (PassResult, error) {
 		FlowControl: true,
 		Slack:       3,
 		PacketSize:  packetSize,
+	})
+}
+
+// RunFig2aPointBatch is RunFig2aPoint under the batch-at-a-time protocol:
+// the same topology and packet size, with generators, exchange producers
+// and the sink all moving batches of the given size.
+func RunFig2aPointBatch(records, packetSize, batchSize int) (PassResult, error) {
+	if batchSize <= 0 {
+		batchSize = core.DefaultBatchSize
+	}
+	return RunPass(PassConfig{
+		Records:     records,
+		Stages:      3,
+		Groups:      []int{3, 3, 3},
+		FlowControl: true,
+		Slack:       3,
+		PacketSize:  packetSize,
+		BatchSize:   batchSize,
 	})
 }

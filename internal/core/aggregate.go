@@ -163,6 +163,7 @@ type HashAggregate struct {
 	order  []string
 	emit   int
 	open   bool
+	batch  int
 }
 
 type group struct {
@@ -202,8 +203,9 @@ func (h *HashAggregate) Open() error {
 		return err
 	}
 	in := h.input.Schema()
+	src := inputSource(h.input, h.batch)
 	for {
-		r, ok, err := h.input.Next()
+		r, ok, err := src.next()
 		if err != nil {
 			_ = h.input.Close()
 			_ = h.w.Dispose()
@@ -229,6 +231,7 @@ func (h *HashAggregate) Open() error {
 			v, err := in.Get(r.Data, a.Field)
 			if err != nil {
 				r.Unfix()
+				src.release()
 				_ = h.input.Close()
 				_ = h.w.Dispose()
 				h.w = nil
@@ -248,14 +251,12 @@ func (h *HashAggregate) Open() error {
 	return nil
 }
 
-// Next implements Iterator: emits one group per call, in first-seen order.
-func (h *HashAggregate) Next() (Rec, bool, error) {
-	if !h.open {
-		return Rec{}, false, errState("hashaggregate", "next before open")
-	}
-	if h.emit >= len(h.order) {
-		return Rec{}, false, nil
-	}
+// EnableBatch implements BatchConfigurable: Open consumes the input
+// through batch refills of the given size.
+func (h *HashAggregate) EnableBatch(size int) { h.batch = size }
+
+// emitGroup materialises the next group's output record.
+func (h *HashAggregate) emitGroup() (Rec, error) {
 	g := h.groups[h.order[h.emit]]
 	h.emit++
 	vals := append([]record.Value(nil), g.keyVals...)
@@ -267,8 +268,37 @@ func (h *HashAggregate) Next() (Rec, bool, error) {
 		}
 		vals = append(vals, g.states[i].result(a.Func, t))
 	}
-	r, err := h.w.Write(vals)
+	return h.w.Write(vals)
+}
+
+// Next implements Iterator: emits one group per call, in first-seen order.
+func (h *HashAggregate) Next() (Rec, bool, error) {
+	if !h.open {
+		return Rec{}, false, errState("hashaggregate", "next before open")
+	}
+	if h.emit >= len(h.order) {
+		return Rec{}, false, nil
+	}
+	r, err := h.emitGroup()
 	return r, err == nil, err
+}
+
+// NextBatch implements BatchIterator natively: one call emits a whole
+// run of groups in first-seen order.
+func (h *HashAggregate) NextBatch(b *Batch) error {
+	if !h.open {
+		return errState("hashaggregate", "next before open")
+	}
+	b.Reset()
+	for !b.Full() && h.emit < len(h.order) {
+		r, err := h.emitGroup()
+		if err != nil {
+			b.Release()
+			return err
+		}
+		b.Append(r)
+	}
+	return nil
 }
 
 // Close implements Iterator.
@@ -294,10 +324,12 @@ type SortAggregate struct {
 	aggs    []AggSpec
 	schema  *record.Schema
 
-	w    *ResultWriter
-	cur  *group
-	done bool
-	open bool
+	w     *ResultWriter
+	cur   *group
+	done  bool
+	open  bool
+	batch int
+	src   recSource
 }
 
 // NewSortAggregate constructs the operator over a sorted input.
@@ -331,8 +363,20 @@ func (s *SortAggregate) Open() error {
 	s.w = w
 	s.cur = nil
 	s.done = false
+	s.src = inputSource(s.input, s.batch)
 	s.open = true
 	return nil
+}
+
+// EnableBatch implements BatchConfigurable. The size also propagates to
+// a batch-capable input — NewSortDistinct and the sort-based aggregation
+// plans wrap the visible input in a hidden Sort that would otherwise
+// stay row-at-a-time.
+func (s *SortAggregate) EnableBatch(size int) {
+	s.batch = size
+	if bc, ok := s.input.(BatchConfigurable); ok {
+		bc.EnableBatch(size)
+	}
 }
 
 // Next implements Iterator.
@@ -340,12 +384,39 @@ func (s *SortAggregate) Next() (Rec, bool, error) {
 	if !s.open {
 		return Rec{}, false, errState("sortaggregate", "next before open")
 	}
+	return s.nextGroup()
+}
+
+// NextBatch implements BatchIterator natively: one call emits a whole
+// run of finished groups.
+func (s *SortAggregate) NextBatch(b *Batch) error {
+	if !s.open {
+		return errState("sortaggregate", "next before open")
+	}
+	b.Reset()
+	for !b.Full() {
+		r, ok, err := s.nextGroup()
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if !ok {
+			break
+		}
+		b.Append(r)
+	}
+	return nil
+}
+
+// nextGroup emits the next finished group, consuming input until a key
+// change or end of stream.
+func (s *SortAggregate) nextGroup() (Rec, bool, error) {
 	if s.done {
 		return Rec{}, false, nil
 	}
 	in := s.input.Schema()
 	for {
-		r, ok, err := s.input.Next()
+		r, ok, err := s.src.next()
 		if err != nil {
 			return Rec{}, false, err
 		}
@@ -415,6 +486,10 @@ func (s *SortAggregate) Close() error {
 		return errState("sortaggregate", "close before open")
 	}
 	s.open = false
+	if s.src != nil {
+		s.src.release()
+		s.src = nil
+	}
 	err := s.input.Close()
 	if derr := s.w.Dispose(); err == nil {
 		err = derr

@@ -25,14 +25,15 @@ import (
 // goroutine uses its own endpoint from Consumer(i); each producer g
 // runs the subtree built by NewProducer(g).
 type Exchange struct {
-	cfg    ExchangeConfig
-	port   *port
-	pool   *packetPool // bounded free list recycling drained packets
-	xid    int64       // distinguishes this hub's trace tracks
-	start  sync.Once
-	err    atomic.Value // first async error (type error)
-	closed int32        // consumers that have closed
-	lastWG sync.WaitGroup
+	cfg     ExchangeConfig
+	port    *port
+	pool    *packetPool // bounded free list recycling drained packets
+	batches *BatchPool  // producer pull batches (batch mode only, else nil)
+	xid     int64       // distinguishes this hub's trace tracks
+	start   sync.Once
+	err     atomic.Value // first async error (type error)
+	closed  int32        // consumers that have closed
+	lastWG  sync.WaitGroup
 
 	// stats
 	packetsSent atomic.Int64
@@ -81,6 +82,14 @@ type ExchangeConfig struct {
 	// PacketSize is the number of records per packet, 1..255 (default 83,
 	// "the standard packet size").
 	PacketSize int
+
+	// BatchSize, when positive, runs the exchange in batch mode: each
+	// producer pulls its subtree through NextBatch refills of this size
+	// (drawn from a bounded batch free list) and routes whole batches,
+	// and consumer endpoints lend drained packets to their callers'
+	// batches wholesale — the packet's record slice is the batch. Zero
+	// keeps the per-record pull loop.
+	BatchSize int
 
 	// FlowControl enables the back-pressure semaphore; Slack is its
 	// initial value (default 4): how many packets producers may get ahead.
@@ -164,8 +173,17 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 	// Flow control is meaningless (and a deadlock hazard) in inline mode:
 	// a member blocked on the semaphore could never drain its own queue.
 	fc := cfg.FlowControl && !cfg.Inline
+	if cfg.BatchSize < 0 {
+		return nil, errState("exchange", fmt.Sprintf("negative batch size %d", cfg.BatchSize))
+	}
 	x.pool = newPacketPool(cfg.Producers, cfg.Consumers, cfg.Slack, cfg.PacketSize)
 	x.port = newPort(cfg.Producers, cfg.Consumers, cfg.KeepStreams, fc, cfg.Slack, x.pool)
+	if cfg.BatchSize > 0 {
+		// Each producer holds one pull batch at a time; size the free
+		// list with headroom so the shutdown race (a batch returned while
+		// another producer refills) never forces a steady-state miss.
+		x.batches = NewBatchPool(2*cfg.Producers, cfg.BatchSize)
+	}
 	return x, nil
 }
 
@@ -222,6 +240,13 @@ type ExchangeStats struct {
 	PoolHits     int64
 	PoolMisses   int64
 	PoolDiscards int64
+	// BatchPoolHits/BatchPoolMisses/BatchPoolDiscards report the batch
+	// free list producers pull through in batch mode; all zero in row
+	// mode. The same warmed-up shape applies: hits grow, misses and
+	// discards stay flat.
+	BatchPoolHits     int64
+	BatchPoolMisses   int64
+	BatchPoolDiscards int64
 	// ProducerStall is cumulative time producers spent blocked on the
 	// flow-control semaphore ("after a producer has inserted a new packet
 	// into the port, it must request the flow control semaphore", §4.1).
@@ -235,16 +260,23 @@ type ExchangeStats struct {
 // Stats returns a snapshot of the hub's counters.
 func (x *Exchange) Stats() ExchangeStats {
 	hits, misses, discards := x.pool.stats()
+	var bh, bm, bd int64
+	if x.batches != nil {
+		bh, bm, bd = x.batches.Stats()
+	}
 	return ExchangeStats{
-		Packets:       x.packetsSent.Load(),
-		Records:       x.recordsSent.Load(),
-		Forks:         x.forks.Load(),
-		SpawnTime:     time.Duration(x.spawnTime.Load()),
-		PoolHits:      hits,
-		PoolMisses:    misses,
-		PoolDiscards:  discards,
-		ProducerStall: time.Duration(x.port.stats.producerStall.Load()),
-		ConsumerWait:  time.Duration(x.port.stats.consumerWait.Load()),
+		BatchPoolHits:     bh,
+		BatchPoolMisses:   bm,
+		BatchPoolDiscards: bd,
+		Packets:           x.packetsSent.Load(),
+		Records:           x.recordsSent.Load(),
+		Forks:             x.forks.Load(),
+		SpawnTime:         time.Duration(x.spawnTime.Load()),
+		PoolHits:          hits,
+		PoolMisses:        misses,
+		PoolDiscards:      discards,
+		ProducerStall:     time.Duration(x.port.stats.producerStall.Load()),
+		ConsumerWait:      time.Duration(x.port.stats.consumerWait.Load()),
 	}
 }
 
@@ -393,27 +425,60 @@ func (x *Exchange) runProducer(g int, tk *trace.Track) {
 	out := x.newOutbox(g)
 	out.tk = tk
 	var produced int64
-	for {
-		if x.cfg.Done != nil && x.canceled() {
-			x.setErr(ErrCanceled)
-			tk.Instant1("exchange", "canceled", "producer", int64(g))
-			break
+	if x.cfg.BatchSize > 0 {
+		produced = x.produceBatched(g, input, out, tk)
+	} else {
+		for {
+			if x.cfg.Done != nil && x.canceled() {
+				x.setErr(ErrCanceled)
+				tk.Instant1("exchange", "canceled", "producer", int64(g))
+				break
+			}
+			r, ok, nerr := input.Next()
+			if nerr != nil {
+				x.setErr(nerr)
+				break
+			}
+			if !ok {
+				break
+			}
+			out.route(r)
+			produced++
 		}
-		r, ok, nerr := input.Next()
-		if nerr != nil {
-			x.setErr(nerr)
-			break
-		}
-		if !ok {
-			break
-		}
-		out.route(r)
-		produced++
 	}
 	if tk != nil {
 		tk.SpanAt1("exchange", "produce", begin, time.Since(begin), "records", produced)
 	}
 	x.finishProducer(g, out, input, tk)
+}
+
+// produceBatched is the batch-mode driver loop: the subtree is exhausted
+// through NextBatch refills drawn from the hub's batch free list, and
+// each refill is routed wholesale. Cancellation is polled once per batch
+// instead of once per record, which bounds post-cancel work to one batch.
+func (x *Exchange) produceBatched(g int, input Iterator, out *outbox, tk *trace.Track) int64 {
+	src := AsBatch(input)
+	b := x.batches.Get()
+	defer x.batches.Put(b)
+	var produced int64
+	for {
+		if x.cfg.Done != nil && x.canceled() {
+			x.setErr(ErrCanceled)
+			tk.Instant1("exchange", "canceled", "producer", int64(g))
+			return produced
+		}
+		if err := src.NextBatch(b); err != nil {
+			x.setErr(err)
+			return produced
+		}
+		if b.Len() == 0 {
+			return produced
+		}
+		xmBatchPulls.Add(1)
+		xmBatchRecords.Add(int64(b.Len()))
+		out.routeBatch(b.Recs())
+		produced += int64(b.Len())
+	}
 }
 
 // finishProducer flushes, tags end-of-stream, performs the close
@@ -462,6 +527,16 @@ type outbox struct {
 	packets []*packet
 	part    expr.Partitioner
 	tk      *trace.Track // the owning goroutine's trace track (may be nil)
+
+	// Batch-mode scratch for routeBatch's whole-batch partition sweep.
+	datas [][]byte
+	parts []int
+	// rr marks the default (round-robin) partitioner: batch routing then
+	// deals each batch in contiguous per-consumer chunks — same balance,
+	// no per-record partition call. rrNext rotates the first-served
+	// consumer across batches so uneven chunks even out.
+	rr     bool
+	rrNext int
 }
 
 func (x *Exchange) newOutbox(g int) *outbox {
@@ -473,6 +548,7 @@ func (x *Exchange) newOutbox(g int) *outbox {
 		o.part = x.cfg.NewPartition(g)
 	default:
 		o.part = expr.RoundRobin(x.cfg.Consumers)
+		o.rr = true
 	}
 	return o
 }
@@ -539,6 +615,82 @@ func (o *outbox) push(c int, eos bool) {
 		}
 	}
 	o.x.port.queues[c].push(p, o.tk)
+}
+
+// routeBatch places a whole pulled batch, amortising the per-record
+// dispatch of route: a single-consumer outbox appends the run into
+// packets wholesale, and a partitioned outbox evaluates the partitioning
+// support function over the whole batch in one PartitionBatch sweep
+// before distributing. Broadcast keeps the per-record path (each record
+// is shared across every consumer anyway).
+func (o *outbox) routeBatch(recs []Rec) {
+	switch {
+	case o.x.cfg.Broadcast:
+		for _, r := range recs {
+			o.route(r)
+		}
+	case o.part == nil: // single consumer: bulk append
+		o.bulkAppend(0, recs)
+	case o.rr:
+		// Round robin only balances load; dealing the batch in contiguous
+		// chunks (rotating which consumer is served first) preserves the
+		// balance without a partition call and packet append per record.
+		nc := len(o.packets)
+		per, extra := len(recs)/nc, len(recs)%nc
+		for i := 0; i < nc; i++ {
+			n := per
+			if i < extra {
+				n++
+			}
+			o.bulkAppend((o.rrNext+i)%nc, recs[:n])
+			recs = recs[n:]
+		}
+		o.rrNext = (o.rrNext + extra) % nc
+	default:
+		o.datas = o.datas[:0]
+		for _, r := range recs {
+			o.datas = append(o.datas, r.Data)
+		}
+		if cap(o.parts) < len(recs) {
+			o.parts = make([]int, len(recs))
+		}
+		o.parts = o.parts[:len(recs)]
+		expr.PartitionBatch(o.part, o.datas, o.parts)
+		for i, r := range recs {
+			c := o.parts[i]
+			if c < 0 || c >= len(o.packets) {
+				o.x.setErr(fmt.Errorf("core: exchange: partition function returned %d of %d", c, len(o.packets)))
+				r.Unfix()
+				continue
+			}
+			o.add(c, r.WithoutDirty())
+		}
+	}
+}
+
+// bulkAppend moves a run of records into consumer c's packets wholesale,
+// clearing the dirty flag as ownership passes and pushing packets as
+// they fill.
+func (o *outbox) bulkAppend(c int, recs []Rec) {
+	size := o.x.cfg.PacketSize
+	for len(recs) > 0 {
+		p := o.packets[c]
+		if p == nil {
+			p = o.x.pool.get(o.g)
+			o.packets[c] = p
+		}
+		n := size - len(p.recs)
+		if n > len(recs) {
+			n = len(recs)
+		}
+		for _, r := range recs[:n] {
+			p.recs = append(p.recs, r.WithoutDirty())
+		}
+		recs = recs[n:]
+		if len(p.recs) >= size {
+			o.push(c, false)
+		}
+	}
 }
 
 // flush pushes all partial packets; with eos, every consumer receives a

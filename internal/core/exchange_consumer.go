@@ -49,6 +49,11 @@ type xConsumer struct {
 	open bool
 	done bool
 
+	// pendErr is an error carried by a packet whose records were lent to
+	// a batch: the records go out first, the error surfaces on the next
+	// NextBatch call, mirroring the row path's records-then-error order.
+	pendErr error
+
 	// Inline mode state.
 	input     Iterator
 	out       *outbox
@@ -87,8 +92,72 @@ func (c *xConsumer) Open() error {
 		c.x.ensureStarted()
 	}
 	c.cur, c.pos, c.done = nil, 0, false
+	c.pendErr = nil
 	c.open = true
 	return nil
+}
+
+// NextBatch implements BatchIterator natively: a popped packet's record
+// slice is lent to the caller's batch wholesale — no per-record repack —
+// and the packet returns to the free list when the caller's next call
+// (or Reset) recycles the batch. A packet that also carries an error
+// still hands its records out first; the error surfaces on the following
+// call, as in the row path.
+func (c *xConsumer) NextBatch(b *Batch) error {
+	if !c.open {
+		return errState("exchange", "consumer next before open")
+	}
+	b.Reset()
+	if c.pendErr != nil {
+		err := c.pendErr
+		c.pendErr = nil
+		return err
+	}
+	for {
+		if p := c.cur; p != nil {
+			pos := c.pos
+			c.cur, c.pos = nil, 0
+			if p.err != nil {
+				c.pendErr = p.err
+			}
+			if pos == 0 && len(p.recs) > 0 {
+				b.lend(p, c.x.pool)
+				return nil
+			}
+			if pos < len(p.recs) {
+				// Mixed-mode leftover: hand out what remains of a packet
+				// partially served through Next.
+				for _, r := range p.recs[pos:] {
+					b.Append(r)
+				}
+				c.x.pool.put(p)
+				return nil
+			}
+			c.x.pool.put(p)
+			if c.pendErr != nil {
+				err := c.pendErr
+				c.pendErr = nil
+				return err
+			}
+			continue
+		}
+		if c.done {
+			return nil
+		}
+		if c.x.cfg.Inline {
+			if err := c.inlineStep(); err != nil {
+				return err
+			}
+			continue
+		}
+		p := c.x.port.queues[c.idx].pop(c.x.cfg.Producers, c.tk)
+		if p == nil {
+			c.done = true
+			return c.x.firstErr()
+		}
+		c.tk.FlowIn("packet", "pop", p.flow, "records", int64(len(p.recs)))
+		c.cur = p
+	}
 }
 
 // Next implements Iterator.

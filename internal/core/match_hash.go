@@ -30,7 +30,14 @@ type HashMatch struct {
 	probing   bool
 	rightOpen bool
 	open      bool
+	batch     int
+	probeSrc  recSource
 }
+
+// EnableBatch implements BatchConfigurable: both the build-phase drain of
+// the right input and the probe-phase consumption of the left input pull
+// batches of the given size.
+func (h *HashMatch) EnableBatch(size int) { h.batch = size }
 
 type buildEntry struct {
 	rec     Rec
@@ -94,9 +101,11 @@ func (h *HashMatch) Open() error {
 	}
 	h.rightOpen = true
 	rs := h.right.Schema()
+	build := inputSource(h.right, h.batch)
 	for {
-		r, ok, err := h.right.Next()
+		r, ok, err := build.next()
 		if err != nil {
+			build.release()
 			h.abort()
 			return err
 		}
@@ -121,6 +130,7 @@ func (h *HashMatch) Open() error {
 		h.abort()
 		return err
 	}
+	h.probeSrc = inputSource(h.left, h.batch)
 	h.probing = true
 	h.open = true
 	return nil
@@ -147,7 +157,7 @@ func (h *HashMatch) Next() (Rec, bool, error) {
 			return out, true, nil
 		}
 		if h.probing {
-			l, ok, err := h.left.Next()
+			l, ok, err := h.probeSrc.next()
 			if err != nil {
 				return Rec{}, false, err
 			}
@@ -166,6 +176,52 @@ func (h *HashMatch) Next() (Rec, bool, error) {
 			return r, ok, err
 		}
 		return Rec{}, false, nil
+	}
+}
+
+// NextBatch implements BatchIterator natively: queued outputs move into
+// the batch wholesale, and the probe loop keeps going until the batch
+// fills or both phases are exhausted.
+func (h *HashMatch) NextBatch(b *Batch) error {
+	if !h.open {
+		return errState("hashmatch", "next before open")
+	}
+	b.Reset()
+	for {
+		if len(h.pending) > 0 {
+			for _, r := range h.pending {
+				b.Append(r)
+			}
+			h.pending = h.pending[:0]
+		}
+		if b.Full() {
+			return nil
+		}
+		if h.probing {
+			l, ok, err := h.probeSrc.next()
+			if err != nil {
+				b.Release()
+				return err
+			}
+			if !ok {
+				h.probing = false
+				continue
+			}
+			if err := h.probe(l); err != nil {
+				b.Release()
+				return err
+			}
+			continue
+		}
+		r, ok, err := h.trailNext()
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.Append(r)
 	}
 }
 
@@ -326,6 +382,10 @@ func (h *HashMatch) Close() error {
 		return errState("hashmatch", "close before open")
 	}
 	h.open = false
+	if h.probeSrc != nil {
+		h.probeSrc.release()
+		h.probeSrc = nil
+	}
 	err := h.left.Close()
 	h.release()
 	if h.rightOpen {

@@ -26,6 +26,23 @@ type MergeMatch struct {
 	rok     bool
 	pending []Rec
 	open    bool
+	batch   int
+	lsrc    recSource
+	rsrc    recSource
+}
+
+// EnableBatch implements BatchConfigurable: both inputs are consumed
+// through batch refills of the given size. The size also propagates to
+// batch-capable inputs, so the hidden Sorts of NewMergeMatchSorted
+// switch along with the match itself.
+func (m *MergeMatch) EnableBatch(size int) {
+	m.batch = size
+	if bc, ok := m.left.(BatchConfigurable); ok {
+		bc.EnableBatch(size)
+	}
+	if bc, ok := m.right.(BatchConfigurable); ok {
+		bc.EnableBatch(size)
+	}
 }
 
 // NewMergeMatch builds the operator over already-sorted inputs.
@@ -81,12 +98,14 @@ func (m *MergeMatch) Open() error {
 		_ = m.dispose()
 		return err
 	}
+	m.lsrc = inputSource(m.left, m.batch)
+	m.rsrc = inputSource(m.right, m.batch)
 	var err error
-	if m.lrec, m.lok, err = m.left.Next(); err != nil {
+	if m.lrec, m.lok, err = m.lsrc.next(); err != nil {
 		m.abort()
 		return err
 	}
-	if m.rrec, m.rok, err = m.right.Next(); err != nil {
+	if m.rrec, m.rok, err = m.rsrc.next(); err != nil {
 		m.abort()
 		return err
 	}
@@ -97,13 +116,13 @@ func (m *MergeMatch) Open() error {
 // advanceLeft fetches the next left record.
 func (m *MergeMatch) advanceLeft() error {
 	var err error
-	m.lrec, m.lok, err = m.left.Next()
+	m.lrec, m.lok, err = m.lsrc.next()
 	return err
 }
 
 func (m *MergeMatch) advanceRight() error {
 	var err error
-	m.rrec, m.rok, err = m.right.Next()
+	m.rrec, m.rok, err = m.rsrc.next()
 	return err
 }
 
@@ -118,32 +137,65 @@ func (m *MergeMatch) Next() (Rec, bool, error) {
 			m.pending = m.pending[1:]
 			return out, true, nil
 		}
-		switch {
-		case m.lok && m.rok:
-			c := record.CompareKeys(m.left.Schema(), m.lrec.Data, m.leftKey,
-				m.right.Schema(), m.rrec.Data, m.rightKey)
-			var err error
-			switch {
-			case c < 0:
-				err = m.leftOnlyGroup()
-			case c > 0:
-				err = m.rightOnlyGroup()
-			default:
-				err = m.matchedGroup()
-			}
-			if err != nil {
-				return Rec{}, false, err
-			}
-		case m.lok:
-			if err := m.leftOnlyGroup(); err != nil {
-				return Rec{}, false, err
-			}
-		case m.rok:
-			if err := m.rightOnlyGroup(); err != nil {
-				return Rec{}, false, err
-			}
-		default:
+		done, err := m.step()
+		if err != nil {
+			return Rec{}, false, err
+		}
+		if done {
 			return Rec{}, false, nil
+		}
+	}
+}
+
+// step consumes the next key group from whichever side is due, queueing
+// outputs on m.pending; done reports that both inputs are exhausted.
+func (m *MergeMatch) step() (done bool, err error) {
+	switch {
+	case m.lok && m.rok:
+		c := record.CompareKeys(m.left.Schema(), m.lrec.Data, m.leftKey,
+			m.right.Schema(), m.rrec.Data, m.rightKey)
+		switch {
+		case c < 0:
+			return false, m.leftOnlyGroup()
+		case c > 0:
+			return false, m.rightOnlyGroup()
+		default:
+			return false, m.matchedGroup()
+		}
+	case m.lok:
+		return false, m.leftOnlyGroup()
+	case m.rok:
+		return false, m.rightOnlyGroup()
+	default:
+		return true, nil
+	}
+}
+
+// NextBatch implements BatchIterator natively: queued outputs move into
+// the batch wholesale, and group consumption keeps going until the batch
+// fills or both inputs are exhausted.
+func (m *MergeMatch) NextBatch(b *Batch) error {
+	if !m.open {
+		return errState("mergematch", "next before open")
+	}
+	b.Reset()
+	for {
+		if len(m.pending) > 0 {
+			for _, r := range m.pending {
+				b.Append(r)
+			}
+			m.pending = m.pending[:0]
+		}
+		if b.Full() {
+			return nil
+		}
+		done, err := m.step()
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if done {
+			return nil
 		}
 	}
 }
@@ -349,6 +401,14 @@ func (m *MergeMatch) releasePending() {
 	if m.rok {
 		m.rrec.Unfix()
 		m.rok = false
+	}
+	if m.lsrc != nil {
+		m.lsrc.release()
+		m.lsrc = nil
+	}
+	if m.rsrc != nil {
+		m.rsrc.release()
+		m.rsrc = nil
 	}
 }
 

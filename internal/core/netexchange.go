@@ -68,6 +68,12 @@ type NetExchangeConfig struct {
 	// Latency plus size/Bandwidth. Zero disables simulation.
 	Latency   time.Duration
 	Bandwidth int64 // bytes per second
+	// BatchSize switches producers to the batch-at-a-time protocol: each
+	// pulls records from its subtree in batches of this size (via
+	// NextBatch) instead of one Next call per record, amortising the
+	// per-record iterator overhead before images are copied onto the
+	// wire. Zero keeps the record-at-a-time pull.
+	BatchSize int
 	// Tracer, when set, records the network protocol: wire-send and
 	// wire-recv instants with packet sizes, send-stall and recv-wait
 	// spans, and flow arrows from send to receive. Producer and consumer
@@ -177,6 +183,9 @@ func NewNetExchange(cfg NetExchangeConfig) (*NetExchange, error) {
 	}
 	if cfg.PacketSize < 1 || cfg.PacketSize > 255 {
 		return nil, errState("netexchange", "packet size out of range 1..255")
+	}
+	if cfg.BatchSize < 0 {
+		return nil, errState("netexchange", "negative batch size")
 	}
 	n := &NetExchange{cfg: cfg, xid: exchangeSeq.Add(1)}
 	n.pool = newNetPacketPool(cfg.Producers, cfg.Consumers)
@@ -354,18 +363,10 @@ func (n *NetExchange) producerLoop(g int) {
 			send(c, false)
 		}
 	}
-	for {
-		r, ok, nerr := input.Next()
-		if nerr != nil {
-			n.setErr(nerr)
-			break
-		}
-		if !ok {
-			break
-		}
-		// Shared-nothing boundary: copy the record image out of this
-		// machine's buffer straight into the outgoing packet's arena,
-		// then release the pin — no intermediate per-record allocation.
+	// route copies one record image out of this machine's buffer straight
+	// into the outgoing packet's arena — the shared-nothing boundary —
+	// then releases the pin; no intermediate per-record allocation.
+	route := func(r Rec) {
 		switch {
 		case n.cfg.Broadcast:
 			for c := range out {
@@ -381,6 +382,42 @@ func (n *NetExchange) producerLoop(g int) {
 			add(0, r.Data)
 		}
 		r.Unfix()
+	}
+	if n.cfg.BatchSize > 0 {
+		// Batch protocol: amortise the iterator boundary by pulling a
+		// whole batch per call, then route its images as before. One
+		// batch per producer is reused for the entire run.
+		src := AsBatch(input)
+		b := NewBatch(n.cfg.BatchSize)
+		for {
+			if nerr := src.NextBatch(b); nerr != nil {
+				n.setErr(nerr)
+				break
+			}
+			if b.Len() == 0 {
+				break
+			}
+			xmBatchPulls.Add(1)
+			xmBatchRecords.Add(int64(b.Len()))
+			for _, r := range b.Recs() {
+				route(r)
+			}
+			// Every pin was released by route; Reset drops the stale
+			// references (and returns any lent packet) without unfixing.
+			b.Reset()
+		}
+	} else {
+		for {
+			r, ok, nerr := input.Next()
+			if nerr != nil {
+				n.setErr(nerr)
+				break
+			}
+			if !ok {
+				break
+			}
+			route(r)
+		}
 	}
 	for c := range out {
 		send(c, true)
@@ -435,6 +472,12 @@ type netConsumer struct {
 	pos  int
 	open bool
 	done bool
+
+	// pendErr is an error carried by a packet whose record images were
+	// already materialised into a batch: records go out first, the error
+	// surfaces on the next NextBatch call, mirroring the row path's
+	// records-then-error order.
+	pendErr error
 }
 
 // Schema implements Iterator.
@@ -462,8 +505,81 @@ func (c *netConsumer) Open() error {
 	}
 	c.x.ensureStarted()
 	c.cur, c.pos, c.done = nil, 0, false
+	c.pendErr = nil
 	c.open = true
 	return nil
+}
+
+// NextBatch implements BatchIterator natively: one popped wire packet's
+// record images are materialised into the consumer machine's buffer and
+// handed out as a whole batch — one channel receive and one packet
+// recycle per batch instead of per record. A packet that also carries an
+// error still hands its records out first; the error surfaces on the
+// following call, as in the row path.
+func (c *netConsumer) NextBatch(b *Batch) error {
+	if !c.open {
+		return errState("netexchange", "consumer next before open")
+	}
+	b.Reset()
+	if c.pendErr != nil {
+		err := c.pendErr
+		c.pendErr = nil
+		return err
+	}
+	q := c.x.queues[c.idx]
+	for {
+		if p := c.cur; p != nil {
+			pos := c.pos
+			c.cur, c.pos = nil, 0
+			if p.err != nil {
+				c.pendErr = p.err
+			}
+			for _, data := range p.recs[pos:] {
+				r, err := c.w.WriteBytes(data)
+				if err != nil {
+					c.x.pool.put(p)
+					c.pendErr = nil
+					b.Release()
+					return err
+				}
+				b.Append(r)
+			}
+			c.x.pool.put(p)
+			if b.Len() > 0 {
+				return nil
+			}
+			if err := c.pendErr; err != nil {
+				c.pendErr = nil
+				return err
+			}
+			continue
+		}
+		if c.done {
+			return nil
+		}
+		var p *netPacket
+		select {
+		case p = <-q.ch:
+		default:
+			start := time.Now()
+			p = <-q.ch
+			d := time.Since(start)
+			c.x.recvWait.Add(int64(d))
+			c.tk.SpanAt("flow", "recv-wait", start, d)
+		}
+		c.tk.FlowIn("wire", "wire-recv", p.flow, "records", int64(len(p.recs)))
+		if p.eos {
+			q.eos++
+			if q.eos == c.x.cfg.Producers {
+				c.done = true
+			}
+			if len(p.recs) == 0 && p.err == nil {
+				c.x.pool.put(p)
+				continue
+			}
+		}
+		c.cur = p
+	}
 }
 
 // Next implements Iterator: received images become pinned residents of

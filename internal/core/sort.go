@@ -52,7 +52,13 @@ type Sort struct {
 	runs          []*file.File
 	merge         *runMerge
 	open          bool
+	batch         int
+	src           recSource
 }
+
+// EnableBatch implements BatchConfigurable: run generation drains the
+// input through batch refills of the given size.
+func (s *Sort) EnableBatch(size int) { s.batch = size }
 
 // RunsGenerated reports how many initial runs the last Open produced.
 func (s *Sort) RunsGenerated() int { return s.runsGenerated }
@@ -91,6 +97,7 @@ func (s *Sort) Open() error {
 	if err := s.input.Open(); err != nil {
 		return err
 	}
+	s.src = inputSource(s.input, s.batch)
 	s.runsGenerated = 0
 	var runErr error
 	if s.RunGen == RunGenReplacementSelection {
@@ -98,6 +105,8 @@ func (s *Sort) Open() error {
 	} else {
 		runErr = s.buildRuns()
 	}
+	s.src.release()
+	s.src = nil
 	if runErr != nil {
 		s.cleanup()
 		_ = s.input.Close()
@@ -147,7 +156,7 @@ func (s *Sort) buildRuns() error {
 		return nil
 	}
 	for {
-		r, ok, err := s.input.Next()
+		r, ok, err := s.src.next()
 		if err != nil {
 			return err
 		}
@@ -215,7 +224,7 @@ func (s *Sort) buildRunsReplacement() error {
 
 	var seq int64
 	readNext := func() ([]byte, bool, error) {
-		r, ok, err := s.input.Next()
+		r, ok, err := s.src.next()
 		if err != nil || !ok {
 			return nil, ok, err
 		}
@@ -338,6 +347,27 @@ func (s *Sort) Next() (Rec, bool, error) {
 		return Rec{}, false, errState("sort", "next before open")
 	}
 	return s.merge.next()
+}
+
+// NextBatch implements BatchIterator natively: one call serves a whole
+// run of records from the final merge.
+func (s *Sort) NextBatch(b *Batch) error {
+	if !s.open {
+		return errState("sort", "next before open")
+	}
+	b.Reset()
+	for !b.Full() {
+		r, ok, err := s.merge.next()
+		if err != nil {
+			b.Release()
+			return err
+		}
+		if !ok {
+			break
+		}
+		b.Append(r)
+	}
+	return nil
 }
 
 // Close implements Iterator.

@@ -45,6 +45,14 @@ func (w *ResultWriter) WriteBytes(data []byte) (Rec, error) {
 	return w.f.InsertPinned(data)
 }
 
+// WriteBytesBatch appends len(datas) pre-encoded records, filling out
+// with the pinned results — the batch protocol's materialisation path:
+// one page fix per page instead of one per record. out must have the
+// same length as datas.
+func (w *ResultWriter) WriteBytesBatch(datas [][]byte, out []Rec) error {
+	return w.f.InsertPinnedBatch(datas, out)
+}
+
 // Dispose deletes the temp file. All written records must have been
 // unpinned by their consumers.
 func (w *ResultWriter) Dispose() error {

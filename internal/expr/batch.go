@@ -1,0 +1,33 @@
+package expr
+
+// Batch evaluation of support functions: the batch-at-a-time protocol
+// amortises the iterator call chain, and these helpers amortise the
+// support-function dispatch by evaluating one closure (or one bytecode
+// program) over a whole run of record images per call. The support
+// functions themselves stay per-record — Volcano's operators pass a
+// (function, argument) pair and never interpret records — so a batch
+// helper is just the tight loop hoisted out of the operator.
+
+// PredicateBatch evaluates pred over each record image in recs, writing
+// one keep flag per record into keep, which must have len(keep) >=
+// len(recs). On error it returns the index of the failing record; flags
+// past that index are unspecified.
+func PredicateBatch(pred Predicate, recs [][]byte, keep []bool) (int, error) {
+	for i, data := range recs {
+		ok, err := pred(data)
+		if err != nil {
+			return i, err
+		}
+		keep[i] = ok
+	}
+	return len(recs), nil
+}
+
+// PartitionBatch evaluates part over each record image in recs, writing
+// one consumer index per record into out, which must have len(out) >=
+// len(recs).
+func PartitionBatch(part Partitioner, recs [][]byte, out []int) {
+	for i, data := range recs {
+		out[i] = part(data)
+	}
+}

@@ -51,10 +51,10 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 }
 
 func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, tr, nil, nil)
+	return buildObserved(env, cat, n, tr, nil, nil, 0)
 }
 
-func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry, done <-chan struct{}) (core.Iterator, *Analysis, error) {
+func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry, done <-chan struct{}, batch int) (core.Iterator, *Analysis, error) {
 	an := &Analysis{
 		root:  n,
 		stats: map[*Node]*core.OpStats{},
@@ -87,7 +87,7 @@ func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *me
 		}
 	}
 	walk(n)
-	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr, done: done}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr, done: done, batch: batch}, n)
 	if err != nil {
 		return nil, nil, err
 	}

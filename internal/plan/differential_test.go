@@ -1,0 +1,365 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/device"
+	"repro/internal/storage/file"
+)
+
+// The differential conformance harness: every plan in the corpus runs
+// once record-at-a-time and once per batch size under the batch
+// protocol, and the sorted, rendered result sets must be byte-identical.
+// The corpus spans every operator family the plan language can express —
+// scans, filters, projections, all join and match variants, aggregation,
+// duplicate elimination, set operations, division, sorting, and single,
+// partitioned, merging and nested exchanges — so a batch-protocol bug
+// anywhere in an operator's consume or produce path shows up as a
+// mode mismatch here rather than as a wrong answer in production.
+
+// diffBatchSizes are the batch sizes every corpus plan is replayed
+// under: the degenerate size, a tiny prime that never divides the row
+// counts (forcing partial final batches everywhere), and the default.
+var diffBatchSizes = []int{1, 7, core.DefaultBatchSize}
+
+// diffDB is the differential fixture: one world holding every table the
+// corpus references, with the buffer pool exposed for pin-leak checks.
+type diffDB struct {
+	env  *core.Env
+	cat  MapCatalog
+	pool *buffer.Pool
+}
+
+func newDiffDB(t testing.TB) *diffDB {
+	t.Helper()
+	reg := device.NewRegistry()
+	baseID := reg.NextID()
+	reg.Mount(device.NewMem(baseID))
+	tempID := reg.NextID()
+	reg.Mount(device.NewMem(tempID))
+	t.Cleanup(func() { reg.CloseAll() })
+	pool := buffer.NewPool(reg, 1024, buffer.TwoLevel)
+	vol := file.NewVolume(pool, baseID)
+	db := &diffDB{
+		env:  core.NewEnv(pool, file.NewVolume(pool, tempID)),
+		cat:  MapCatalog{},
+		pool: pool,
+	}
+
+	// emp(id, dept, salary, name) and dept(dno, dname), as in plan_test.
+	emp, err := vol.Create("emp", empSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		emp.Insert(empSchema.MustEncode(
+			record.Int(int64(i)), record.Int(int64(i%4)),
+			record.Float(1000+float64(i%13)*10), record.Str(fmt.Sprintf("emp-%d", i)),
+		))
+	}
+	db.cat["emp"] = emp
+	dep, err := vol.Create("dept", deptSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dep.Insert(deptSchema.MustEncode(record.Int(int64(i)), record.Str(fmt.Sprintf("dept-%d", i))))
+	}
+	db.cat["dept"] = dep
+
+	// nums.0..nums.3: one int column, 500 values dealt round robin.
+	numSchema := record.MustSchema(record.Field{Name: "v", Type: record.TInt})
+	parts := make([]*file.File, 4)
+	for p := range parts {
+		f, err := vol.Create(fmt.Sprintf("nums.%d", p), numSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[p] = f
+		db.cat[fmt.Sprintf("nums.%d", p)] = f
+	}
+	for i := 0; i < 500; i++ {
+		parts[i%4].Insert(numSchema.MustEncode(record.Int(int64(i))))
+	}
+
+	// enrolled(student, course) ÷ required(course).
+	es := record.MustSchema(
+		record.Field{Name: "student", Type: record.TInt},
+		record.Field{Name: "course", Type: record.TInt},
+	)
+	enr, err := vol.Create("enrolled", es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(0); s < 20; s++ {
+		for c := int64(0); c < 3; c++ {
+			if s%2 == 0 || c != 1 { // odd students miss course 1
+				enr.Insert(es.MustEncode(record.Int(s), record.Int(c)))
+			}
+		}
+	}
+	db.cat["enrolled"] = enr
+	rs := record.MustSchema(record.Field{Name: "course", Type: record.TInt})
+	req, err := vol.Create("required", rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := int64(0); c < 3; c++ {
+		req.Insert(rs.MustEncode(record.Int(c)))
+	}
+	db.cat["required"] = req
+	return db
+}
+
+// renderSorted canonicalises a result set: each row rendered
+// field-by-field, rows sorted, so comparison is order-insensitive
+// (exchange arrival order is nondeterministic by design).
+func renderSorted(rows [][]record.Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		out[i] = strings.Join(cells, "\x1f")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffCorpus is the conformance corpus. Every script must parse and run
+// against the diffDB fixture.
+var diffCorpus = []struct {
+	name   string
+	script string
+}{
+	{"scan", "scan emp"},
+	{"filter", "scan emp | filter dept = 2 AND salary < 1100.0"},
+	{"project-sort", "scan emp | project id, salary * 2 as double | sort double desc, id"},
+	{"expr-modes", "scan emp | filter interpreted dept = 1 | project compiled id + dept as x"},
+	{"join-hash", "with d = scan dept\nscan emp | join hash d on dept = dno"},
+	{"join-merge", "with d = scan dept\nscan emp | join merge d on dept = dno"},
+	{"join-loops", "with d = scan dept\nscan emp | join loops d on dept = dno AND id < 25"},
+	{"semijoin", "with d = scan dept | filter dno = 2\nscan emp | semijoin d on dept = dno"},
+	{"antijoin", "with d = scan dept | filter dno = 2\nscan emp | antijoin d on dept = dno"},
+	{"leftouter", "with d = scan dept | filter dno < 2\nscan emp | leftouter d on dept = dno"},
+	{"agg-hash", "scan emp | agg hash group dept compute count, sum(salary), max(id)"},
+	{"agg-sort", "scan emp | agg sort group dept compute count, avg(salary), min(id)"},
+	{"distinct", "scan emp | project dept | distinct sort"},
+	{"union", "with evens = scan emp | filter id % 2 = 0 | project id\nwith lows = scan emp | filter id < 8 | project id\nscan emp | project id | filter id < 0 | union evens | union lows"},
+	{"intersect", "with lows = scan emp | filter id < 8 | project id\nscan emp | filter id % 2 = 0 | project id | intersect lows"},
+	{"difference", "with lows = scan emp | filter id < 8 | project id\nscan emp | filter id % 2 = 0 | project id | difference lows"},
+	{"divide-hash", "with req = scan required\nscan enrolled | divide hash req quot student div course on course"},
+	{"divide-sort", "with req = scan required\nscan enrolled | divide sort req quot student div course on course"},
+	{"exchange", "pscan nums 4 | exchange producers=4 packet=16 flow=on slack=3"},
+	{"exchange-hash-partition", "pscan nums 4 | exchange producers=4 partition=hash(v) packet=7"},
+	{"exchange-merge", "pscan nums 4 | sort v | exchange producers=4 merge=v packet=5"},
+	{"exchange-nested", "pscan nums 4 | exchange producers=4 packet=16 | exchange producers=1 packet=5"},
+	{"exchange-above-join", "with d = scan dept\npscan nums 4 | exchange producers=4 packet=16 | join hash d on v = dno"},
+	{"exchange-agg", "pscan nums 4 | exchange producers=4 packet=16 flow=on slack=3 | agg hash group v compute count | filter v < 10"},
+}
+
+func TestDifferentialCorpus(t *testing.T) {
+	db := newDiffDB(t)
+	for _, tc := range diffCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := Parse(tc.script)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			rowRows, err := Run(db.env, db.cat, n)
+			if err != nil {
+				t.Fatalf("row mode: %v", err)
+			}
+			if len(rowRows) == 0 && tc.name != "union" {
+				// Every corpus plan except the degenerate branch of union
+				// produces rows; an empty row-mode result would make the
+				// differential comparison vacuous.
+				t.Fatalf("row mode produced no rows — corpus case is vacuous")
+			}
+			want := renderSorted(rowRows)
+			for _, size := range diffBatchSizes {
+				batchRows, err := RunBatch(db.env, db.cat, n, size)
+				if err != nil {
+					t.Fatalf("batch size %d: %v", size, err)
+				}
+				got := renderSorted(batchRows)
+				if len(got) != len(want) {
+					t.Fatalf("batch size %d: %d rows, row mode gave %d", size, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("batch size %d: row %d differs:\n got %q\nwant %q", size, i, got[i], want[i])
+					}
+				}
+			}
+			if pinned := db.pool.PinnedFrames(); pinned != 0 {
+				t.Fatalf("%d frames still pinned after both modes", pinned)
+			}
+		})
+	}
+}
+
+// TestDifferentialIndexScan replays index-scan plans (which need a
+// durable volume with a saved B+-tree) through both modes.
+func TestDifferentialIndexScan(t *testing.T) {
+	env, cat := durableDB(t)
+	for _, script := range []string{
+		"iscan t t_id 100 199",
+		"iscan t t_id | filter v > 500 | project id, v",
+		"iscan t t_id 990 | agg hash group v compute count",
+	} {
+		n, err := Parse(script)
+		if err != nil {
+			t.Fatalf("parse %q: %v", script, err)
+		}
+		rowRows, err := Run(env, cat, n)
+		if err != nil {
+			t.Fatalf("row mode %q: %v", script, err)
+		}
+		if len(rowRows) == 0 {
+			t.Fatalf("%q: row mode produced no rows", script)
+		}
+		want := renderSorted(rowRows)
+		for _, size := range diffBatchSizes {
+			batchRows, err := RunBatch(env, cat, n, size)
+			if err != nil {
+				t.Fatalf("batch size %d %q: %v", size, script, err)
+			}
+			got := renderSorted(batchRows)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("batch size %d %q: result sets differ", size, script)
+			}
+		}
+	}
+}
+
+// drainRowMode pulls everything through Next until EOS or error,
+// unfixing as it goes.
+func drainRowMode(it core.Iterator, limit int) (int, error) {
+	n := 0
+	for n < limit {
+		r, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		r.Unfix()
+		n++
+	}
+	return n, nil
+}
+
+// drainBatchMode pulls everything through NextBatch until EOS or error,
+// releasing each batch.
+func drainBatchMode(it core.Iterator, size, limit int) (int, error) {
+	src := core.AsBatch(it)
+	b := core.NewBatch(size)
+	n := 0
+	for n < limit {
+		if err := src.NextBatch(b); err != nil {
+			return n, err
+		}
+		if b.Len() == 0 {
+			return n, nil
+		}
+		n += b.Len()
+		b.Release()
+	}
+	return n, nil
+}
+
+// TestDifferentialCancellationPreClosed builds an exchange plan with an
+// already-closed Done channel: in both modes the stream must fail with
+// ErrCanceled and leak no pins.
+func TestDifferentialCancellationPreClosed(t *testing.T) {
+	db := newDiffDB(t)
+	n, err := Parse("pscan nums 4 | exchange producers=4 packet=16 flow=on slack=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done)
+	for _, size := range []int{0, 7} {
+		it, _, err := BuildWith(db.env, db.cat, n, BuildOptions{Done: done, BatchSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := it.Open(); err != nil {
+			t.Fatalf("size %d: open: %v", size, err)
+		}
+		var drainErr error
+		if size > 0 {
+			_, drainErr = drainBatchMode(it, size, 1<<20)
+		} else {
+			_, drainErr = drainRowMode(it, 1<<20)
+		}
+		if !errors.Is(drainErr, core.ErrCanceled) {
+			t.Fatalf("size %d: drain error = %v, want ErrCanceled", size, drainErr)
+		}
+		if err := it.Close(); err != nil && !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("size %d: close: %v", size, err)
+		}
+		if pinned := db.pool.PinnedFrames(); pinned != 0 {
+			t.Fatalf("size %d: %d frames still pinned", size, pinned)
+		}
+	}
+}
+
+// TestDifferentialCancellationMidStream consumes part of the result,
+// closes Done mid-stream, and requires a clean teardown in both modes:
+// the remaining drain either finishes or reports ErrCanceled, Close
+// succeeds (or reports the cancellation), and no pin leaks.
+func TestDifferentialCancellationMidStream(t *testing.T) {
+	db := newDiffDB(t)
+	n, err := Parse("pscan nums 4 | exchange producers=4 packet=4 flow=on slack=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 7} {
+		done := make(chan struct{})
+		it, _, err := BuildWith(db.env, db.cat, n, BuildOptions{Done: done, BatchSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := it.Open(); err != nil {
+			t.Fatalf("size %d: open: %v", size, err)
+		}
+		// Take a prefix, then cancel while producers are still working
+		// (packet=4 with slack 2 keeps most of the 500 rows undelivered).
+		var prefixErr error
+		if size > 0 {
+			_, prefixErr = drainBatchMode(it, size, 20)
+		} else {
+			_, prefixErr = drainRowMode(it, 20)
+		}
+		if prefixErr != nil {
+			t.Fatalf("size %d: prefix drain: %v", size, prefixErr)
+		}
+		close(done)
+		var restErr error
+		if size > 0 {
+			_, restErr = drainBatchMode(it, size, 1<<20)
+		} else {
+			_, restErr = drainRowMode(it, 1<<20)
+		}
+		if restErr != nil && !errors.Is(restErr, core.ErrCanceled) {
+			t.Fatalf("size %d: post-cancel drain error = %v", size, restErr)
+		}
+		if err := it.Close(); err != nil && !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("size %d: close: %v", size, err)
+		}
+		if pinned := db.pool.PinnedFrames(); pinned != 0 {
+			t.Fatalf("size %d: %d frames still pinned after cancel", size, pinned)
+		}
+	}
+}

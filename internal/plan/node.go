@@ -196,6 +196,7 @@ type buildCtx struct {
 	analysis  *Analysis       // non-nil when instrumenting (BuildAnalyzed)
 	tracer    *trace.Tracer   // non-nil when event tracing (BuildTraced)
 	done      <-chan struct{} // non-nil: cancellation for exchange producer groups
+	batch     int             // >0: enable the batch protocol on every operator
 }
 
 // BuildOptions selects the optional build facilities. The zero value is a
@@ -215,15 +216,23 @@ type BuildOptions struct {
 	// subtrees (core.ExchangeConfig.Done), bounding the work done on
 	// behalf of a query nobody is waiting for anymore.
 	Done <-chan struct{}
+	// BatchSize, when positive, builds the plan in batch mode: every
+	// batch-capable operator has EnableBatch(BatchSize) called on it and
+	// every exchange runs its producers under the batch protocol
+	// (core.ExchangeConfig.BatchSize). The tree still answers Next — the
+	// two protocols interoperate — but a consumer driving the root via
+	// core.AsBatch gets the amortised batch path end to end. Zero keeps
+	// classic record-at-a-time operation.
+	BatchSize int
 }
 
 // BuildWith instantiates the plan with the given options. The *Analysis
 // is non-nil iff o.Analyze or o.Metrics is set.
 func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterator, *Analysis, error) {
 	if o.Analyze || o.Metrics.Enabled() {
-		return buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done)
+		return buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done, o.BatchSize)
 	}
-	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize}, n)
 	return it, nil, err
 }
 
@@ -235,7 +244,7 @@ func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterat
 // Either tr or mr (or both) may be nil; with both nil it is
 // BuildAnalyzed.
 func BuildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, tr, mr, nil)
+	return buildObserved(env, cat, n, tr, mr, nil, 0)
 }
 
 // Build instantiates the plan into an iterator tree.
@@ -264,6 +273,15 @@ func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
 	it, err := buildNode(ctx, n)
 	if err != nil {
 		return it, err
+	}
+	// Batch mode: configure the raw operator before any instrumentation
+	// wrap, so the whole tree switches protocol uniformly. Operators
+	// without batch support (or exchange endpoints, configured through
+	// their hub's state record) simply keep answering Next.
+	if ctx.batch > 0 {
+		if bc, ok := it.(core.BatchConfigurable); ok {
+			bc.EnableBatch(ctx.batch)
+		}
 	}
 	if ctx.analysis != nil {
 		st := ctx.analysis.stats[n]
@@ -516,8 +534,9 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		ForkCost:    o.ForkCost,
 		Tracer:      ctx.tracer,
 		Done:        ctx.done,
+		BatchSize:   ctx.batch,
 		NewProducer: func(g int) (core.Iterator, error) {
-			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer, done: ctx.done}, n.Inputs[0])
+			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer, done: ctx.done, batch: ctx.batch}, n.Inputs[0])
 		},
 	}
 	if cfg.Consumers == 0 {
@@ -575,4 +594,18 @@ func Run(env *core.Env, cat Catalog, n *Node) ([][]record.Value, error) {
 		return nil, err
 	}
 	return core.Collect(it)
+}
+
+// RunBatch builds the plan in batch mode and executes it through the
+// batch protocol (NextBatch refills of the given size), returning
+// decoded rows exactly like Run. Size <= 0 uses core.DefaultBatchSize.
+func RunBatch(env *core.Env, cat Catalog, n *Node, size int) ([][]record.Value, error) {
+	if size <= 0 {
+		size = core.DefaultBatchSize
+	}
+	it, _, err := BuildWith(env, cat, n, BuildOptions{BatchSize: size})
+	if err != nil {
+		return nil, err
+	}
+	return core.CollectBatch(it, size)
 }

@@ -79,7 +79,10 @@ type Schema struct {
 	fixedLen int
 	// varFields counts variable-length fields.
 	varFields int
-	byName    map[string]int
+	// dense marks an all-fixed schema: every byte of the fixed area is
+	// covered by a field write, so encoding needs no zero-fill pass.
+	dense  bool
+	byName map[string]int
 }
 
 // NewSchema builds a schema from the given fields. Field names must be
@@ -105,6 +108,7 @@ func NewSchema(fields ...Field) (*Schema, error) {
 		}
 	}
 	s.fixedLen = off
+	s.dense = s.varFields == 0
 	return s, nil
 }
 
@@ -203,8 +207,19 @@ func (s *Schema) String() string {
 // for each variable-length field, the 4-byte cumulative end offset of its
 // data within the variable-length tail that follows the fixed area.
 func (s *Schema) Encode(vals []Value) ([]byte, error) {
+	return s.AppendEncode(nil, vals)
+}
+
+// AppendEncode serialises vals like Encode but appends the record image
+// to dst and returns the extended slice. Callers that reuse one buffer
+// across records (batch sources, writers) encode without a per-record
+// allocation once the buffer has grown to the working record size.
+func (s *Schema) AppendEncode(dst []byte, vals []Value) ([]byte, error) {
 	if len(vals) != len(s.fields) {
 		return nil, fmt.Errorf("record: encode: got %d values for %d fields", len(vals), len(s.fields))
+	}
+	if s.dense {
+		return s.appendEncodeDense(dst, vals)
 	}
 	varLen := 0
 	for i, v := range vals {
@@ -215,7 +230,18 @@ func (s *Schema) Encode(vals []Value) ([]byte, error) {
 			varLen += len(v.S)
 		}
 	}
-	buf := make([]byte, s.fixedLen+varLen)
+	base := len(dst)
+	if n := base + s.fixedLen + varLen; cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		grown := make([]byte, n)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base:]
+	for i := range buf {
+		buf[i] = 0
+	}
 	varEnd := 0
 	for i, v := range vals {
 		off := s.offsets[i]
@@ -234,7 +260,43 @@ func (s *Schema) Encode(vals []Value) ([]byte, error) {
 			binary.LittleEndian.PutUint32(buf[off:], uint32(varEnd))
 		}
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// appendEncodeDense is the all-fixed-fields fast path of AppendEncode:
+// every byte of the fixed area is written by a field, so the zero-fill
+// pass and the variable-length bookkeeping disappear from the encode hot
+// loop (the dominant per-record cost of batch generators).
+func (s *Schema) appendEncodeDense(dst []byte, vals []Value) ([]byte, error) {
+	base := len(dst)
+	if n := base + s.fixedLen; cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		grown := make([]byte, n)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base:]
+	for i, v := range vals {
+		t := s.fields[i].Type
+		if err := v.checkType(t); err != nil {
+			return nil, fmt.Errorf("record: encode field %q: %w", s.fields[i].Name, err)
+		}
+		off := s.offsets[i]
+		switch t {
+		case TInt:
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v.I))
+		case TFloat:
+			binary.LittleEndian.PutUint64(buf[off:], mathFloat64bits(v.F))
+		default: // TBool
+			if v.B {
+				buf[off] = 1
+			} else {
+				buf[off] = 0
+			}
+		}
+	}
+	return dst, nil
 }
 
 // MustEncode is like Encode but panics on error.

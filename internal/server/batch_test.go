@@ -1,0 +1,84 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// splitRows returns the response's data lines (everything but the
+// trailer) sorted, so nondeterministic exchange arrival order does not
+// flap the comparison.
+func splitRows(res queryResult) []string {
+	lines := strings.Split(strings.TrimRight(res.body, "\n"), "\n")
+	rows := lines[:len(lines)-1] // last line is the trailer
+	sort.Strings(rows)
+	return rows
+}
+
+// TestBatchExecution runs the same queries record-at-a-time and under
+// the batch protocol — via the per-request header and via the server
+// default — and requires identical result sets.
+func TestBatchExecution(t *testing.T) {
+	_, _, ts, _ := newTestServer(t, nil)
+	_, _, tsBatch, _ := newTestServer(t, func(c *Config) { c.BatchSize = 5 })
+
+	scripts := []string{
+		"scan emp | filter dept = 2 | sort salary desc, id",
+		"pscan emp 4 | exchange producers=4 | agg group dept compute count",
+		"with d = scan dept\nscan emp | join hash d on dept = dno",
+	}
+	for _, script := range scripts {
+		row, err := postQuery(ts, script)
+		if err != nil {
+			t.Fatalf("row %q: %v", script, err)
+		}
+		if row.trailer.Status != "ok" {
+			t.Fatalf("row %q: trailer %+v", script, row.trailer)
+		}
+		for name, res := range map[string]queryResult{
+			"header opt-in":  mustQuery(t, func() (queryResult, error) { return postQueryBatch(ts, script, "7") }),
+			"server default": mustQuery(t, func() (queryResult, error) { return postQuery(tsBatch, script) }),
+			"header size 1":  mustQuery(t, func() (queryResult, error) { return postQueryBatch(ts, script, "1") }),
+			"header opt-out": mustQuery(t, func() (queryResult, error) { return postQueryBatch(tsBatch, script, "0") }),
+		} {
+			if res.trailer.Status != "ok" {
+				t.Fatalf("%s %q: trailer %+v", name, script, res.trailer)
+			}
+			if res.rows != row.rows {
+				t.Errorf("%s %q: %d rows, row mode gave %d", name, script, res.rows, row.rows)
+			}
+			got, want := splitRows(res), splitRows(row)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %q: row %d differs:\n got %s\nwant %s", name, script, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func mustQuery(t *testing.T, f func() (queryResult, error)) queryResult {
+	t.Helper()
+	res, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBatchHeaderValidation rejects malformed X-Volcano-Batch values
+// before admission.
+func TestBatchHeaderValidation(t *testing.T) {
+	_, _, ts, _ := newTestServer(t, nil)
+	for _, bad := range []string{"-1", "x", "1.5"} {
+		res, err := postQueryBatch(ts, "scan emp", bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.status != http.StatusBadRequest {
+			t.Errorf("X-Volcano-Batch=%q: status %d, want 400", bad, res.status)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -65,6 +66,13 @@ type Config struct {
 	PlanCacheSize int
 	// FlushEvery flushes the response stream every N rows (default 64).
 	FlushEvery int
+	// BatchSize, when positive, executes every query under the
+	// batch-at-a-time protocol with this batch size: plans are built with
+	// plan.BuildOptions.BatchSize and the result stream drains the root
+	// through NextBatch. A request may override it (either way) with the
+	// X-Volcano-Batch header: a positive integer selects that batch size,
+	// 0 forces record-at-a-time. Zero keeps record-at-a-time execution.
+	BatchSize int
 
 	// Metrics, when non-nil, receives the volcano_server_* families and
 	// is served on GET /metrics.
@@ -209,13 +217,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gov.release(weight)
 
+	batch, err := s.batchSize(r)
+	if err != nil {
+		s.m.rejParse.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	s.m.admitted.Inc()
 	s.m.inFlight.Inc()
 	defer s.m.inFlight.Dec()
 	start := time.Now()
 	defer func() { s.m.querySecs.Observe(time.Since(start)) }()
 
-	s.execute(w, qctx, tpl)
+	s.execute(w, qctx, tpl, batch)
+}
+
+// batchSize resolves the effective batch size for one request: the
+// X-Volcano-Batch header when present (0 = force record-at-a-time),
+// otherwise the server default.
+func (s *Server) batchSize(r *http.Request) (int, error) {
+	h := r.Header.Get("X-Volcano-Batch")
+	if h == "" {
+		return s.cfg.BatchSize, nil
+	}
+	n, err := strconv.Atoi(h)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("server: bad X-Volcano-Batch %q (want a non-negative integer)", h)
+	}
+	return n, nil
 }
 
 // SetCatalogVersion bumps the plan-cache epoch: subsequent lookups key
@@ -256,11 +286,13 @@ func (s *Server) compile(src string) (*plan.Template, error) {
 }
 
 // execute builds a fresh iterator tree from the template and streams its
-// rows. Past the 200 header, errors travel in the NDJSON trailer.
-func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.Template) {
+// rows. Past the 200 header, errors travel in the NDJSON trailer. A
+// positive batch runs the whole query under the batch-at-a-time protocol.
+func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.Template, batch int) {
 	it, _, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, plan.BuildOptions{
-		Metrics: s.cfg.Metrics,
-		Done:    ctx.Done(),
+		Metrics:   s.cfg.Metrics,
+		Done:      ctx.Done(),
+		BatchSize: batch,
 	})
 	if err != nil {
 		s.m.rejPlan.Inc()
@@ -295,31 +327,60 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 
 	var rows int64
 	var streamErr error
-	for {
-		if ctx.Err() != nil {
-			break
-		}
-		rec, ok, err := it.Next()
-		if err != nil {
-			streamErr = err
-			break
-		}
-		if !ok {
-			break
-		}
+	emit := func(rec core.Rec) error {
 		vals, err := sch.Decode(rec.Data)
 		if err == nil {
 			_, err = w.Write(rw.row(vals))
 		}
-		rec.Unfix()
 		if err != nil {
-			streamErr = err
-			break
+			return err
 		}
 		rows++
 		if flusher != nil && rows%int64(s.cfg.FlushEvery) == 0 {
 			bumpDeadline()
 			flusher.Flush()
+		}
+		return nil
+	}
+	if batch > 0 {
+		// Batch drain: one NextBatch refill per batch, pins released in one
+		// coalesced pass per batch.
+		src := core.AsBatch(it)
+		b := core.NewBatch(batch)
+	drain:
+		for ctx.Err() == nil {
+			if err := src.NextBatch(b); err != nil {
+				streamErr = err
+				break
+			}
+			if b.Len() == 0 {
+				break
+			}
+			for _, rec := range b.Recs() {
+				if err := emit(rec); err != nil {
+					streamErr = err
+					b.Release()
+					break drain
+				}
+			}
+			b.Release()
+		}
+	} else {
+		for ctx.Err() == nil {
+			rec, ok, err := it.Next()
+			if err != nil {
+				streamErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			err = emit(rec)
+			rec.Unfix()
+			if err != nil {
+				streamErr = err
+				break
+			}
 		}
 	}
 	closeErr := it.Close()

@@ -174,7 +174,20 @@ type queryResult struct {
 // checking that every line is valid JSON and exactly one trailer
 // terminates the body.
 func postQuery(ts *httptest.Server, script string) (queryResult, error) {
-	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(script))
+	return postQueryBatch(ts, script, "")
+}
+
+// postQueryBatch is postQuery with an X-Volcano-Batch header ("" = none).
+func postQueryBatch(ts *httptest.Server, script, batch string) (queryResult, error) {
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(script))
+	if err != nil {
+		return queryResult{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if batch != "" {
+		req.Header.Set("X-Volcano-Batch", batch)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return queryResult{}, err
 	}

@@ -144,8 +144,15 @@ func NewPool(reg *device.Registry, nframes int, mode LockMode) *Pool {
 	}
 	p.lru.prev, p.lru.next = &p.lru, &p.lru
 	p.frames = make([]*Frame, nframes)
+	// One arena and one frame slab instead of per-frame allocations: pool
+	// construction is two large allocations regardless of size, and the
+	// page images are contiguous (fewer GC objects to scan for a
+	// pointer-free 8 MB region).
+	arena := make([]byte, nframes*device.PageSize)
+	slab := make([]Frame, nframes)
 	for i := range p.frames {
-		f := &Frame{data: make([]byte, device.PageSize)}
+		f := &slab[i]
+		f.data = arena[i*device.PageSize : (i+1)*device.PageSize : (i+1)*device.PageSize]
 		p.frames[i] = f
 		p.chainPush(f)
 	}
@@ -399,6 +406,37 @@ func (p *Pool) Unfix(f *Frame, dirty bool) {
 		f.dirty = f.dirty || dirty
 		f.fixCount--
 		p.unfixes.Add(1)
+		if f.fixCount == 0 {
+			p.chainPush(f)
+		}
+		p.unlockFrame(f)
+		p.mu.Unlock()
+		return
+	}
+}
+
+// UnfixN releases n pins on the frame in one pool-lock round — the bulk
+// counterpart of Unfix for batch consumers releasing many records that
+// share a page.
+func (p *Pool) UnfixN(f *Frame, n int, dirty bool) {
+	if n <= 0 {
+		return
+	}
+	for {
+		p.mu.Lock()
+		if !p.lockFrame(f) {
+			p.mu.Unlock()
+			p.restart()
+			continue
+		}
+		if f.fixCount < n {
+			p.unlockFrame(f)
+			p.mu.Unlock()
+			panic(fmt.Sprintf("buffer: unfix of %d pins with %d held on page %s", n, f.fixCount, f.pid))
+		}
+		f.dirty = f.dirty || dirty
+		f.fixCount -= n
+		p.unfixes.Add(int64(n))
 		if f.fixCount == 0 {
 			p.chainPush(f)
 		}

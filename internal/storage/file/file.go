@@ -252,6 +252,101 @@ func (f *File) InsertPinned(data []byte) (Record, error) {
 	}, nil
 }
 
+// InsertPinnedBatch appends len(datas) records, filling out[i] with the
+// pinned record of datas[i] — the batch counterpart of InsertPinned.
+// The page is fixed once per batch (plus once per page spill), and the
+// per-record pins the ownership protocol requires are granted in bulk
+// (Pool.Pin), so the buffer pool is consulted once per page instead of
+// once per record. Each returned record transfers one pin to the caller,
+// exactly as InsertPinned does.
+func (f *File) InsertPinnedBatch(datas [][]byte, out []Record) error {
+	if len(datas) != len(out) {
+		return fmt.Errorf("file: batch insert of %d records into %d slots", len(datas), len(out))
+	}
+	if len(datas) == 0 {
+		return nil
+	}
+	for _, d := range datas {
+		if len(d) > MaxRecordLen {
+			return fmt.Errorf("file: record of %d bytes exceeds max %d", len(d), MaxRecordLen)
+		}
+	}
+	f.appendMu.Lock()
+	defer f.appendMu.Unlock()
+
+	f.vol.vtoc.Lock()
+	last := f.meta.lastPage
+	f.vol.vtoc.Unlock()
+
+	fr, err := f.vol.pool.Fix(pid(f.vol.dev, last))
+	if err != nil {
+		return err
+	}
+	pg := page{fr.Data()}
+	onPage := 0 // records of this batch on the currently fixed page
+	// fail grants the current page's records their pins, drops the work
+	// pin, and then releases everything inserted so far.
+	fail := func(i int, err error) error {
+		if onPage > 0 {
+			f.vol.pool.Pin(fr, onPage)
+		}
+		f.vol.pool.Unfix(fr, true)
+		for j := 0; j < i; j++ {
+			out[j].Unfix()
+		}
+		return err
+	}
+	inserted := 0
+	for i, data := range datas {
+		if pg.freeSpace() < len(data) {
+			nfr, npid, err := f.vol.pool.FixNew(f.vol.dev)
+			if err != nil {
+				return fail(i, err)
+			}
+			page{nfr.Data()}.init()
+			pg.setNext(npid.Page)
+			// Hand the filled page's pins to its records, drop our work
+			// pin, and move on with a fresh one.
+			if onPage > 0 {
+				f.vol.pool.Pin(fr, onPage)
+			}
+			f.vol.pool.Unfix(fr, true)
+			fr, pg = nfr, page{nfr.Data()}
+			onPage = 0
+			last = npid.Page
+			f.vol.vtoc.Lock()
+			f.meta.lastPage = last
+			f.meta.pages++
+			f.meta.records += inserted
+			f.vol.vtoc.Unlock()
+			inserted = 0
+		}
+		slot := pg.insert(data)
+		stored, err := pg.record(slot)
+		if err != nil {
+			return fail(i, err)
+		}
+		// The frame is marked dirty when the work pin is dropped below, so
+		// the records themselves carry no dirty flag to re-apply on Unfix.
+		out[i] = Record{
+			RID:   record.RID{PageID: pid(f.vol.dev, last), Slot: uint16(slot)},
+			Data:  stored,
+			frame: fr,
+			pool:  f.vol.pool,
+		}
+		onPage++
+		inserted++
+	}
+	f.vol.vtoc.Lock()
+	f.meta.records += inserted
+	f.vol.vtoc.Unlock()
+	if onPage > 0 {
+		f.vol.pool.Pin(fr, onPage)
+	}
+	f.vol.pool.Unfix(fr, true)
+	return nil
+}
+
 // Fetch pins the record's page and returns the record. The caller owns the
 // pin and must call Unfix.
 func (f *File) Fetch(rid record.RID) (Record, error) {

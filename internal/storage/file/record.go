@@ -41,6 +41,28 @@ func (r Record) Share(n int) {
 	}
 }
 
+// UnfixBatch releases every record's pin, coalescing runs of records on
+// the same page into one bulk release (Pool.UnfixN) — the batch
+// consumer's counterpart of per-record Unfix. Records created together
+// land on the same page, so a typical batch costs one or two pool-lock
+// rounds instead of one per record.
+func UnfixBatch(recs []Record) {
+	for i := 0; i < len(recs); {
+		r := recs[i]
+		if r.frame == nil {
+			i++
+			continue
+		}
+		n, dirty := 1, r.dirty
+		for i+n < len(recs) && recs[i+n].frame == r.frame {
+			dirty = dirty || recs[i+n].dirty
+			n++
+		}
+		r.pool.UnfixN(r.frame, n, dirty)
+		i += n
+	}
+}
+
 // WithoutDirty returns a copy of the record whose eventual Unfix will not
 // mark the page dirty (used when ownership passes to a reader).
 func (r Record) WithoutDirty() Record {
