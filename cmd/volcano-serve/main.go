@@ -16,12 +16,22 @@
 // /metrics serves the volcano_server_* families alongside the storage and
 // operator families, and SIGINT/SIGTERM drains gracefully: admission
 // stops, in-flight queries finish, then the volume closes.
+//
+// Every query has an identity: the X-Volcano-Query-Id request header (or
+// a generated ID) is echoed in the response header and the trailing
+// status object. GET /debug/queries lists the active queries with live
+// per-operator progress, GET /debug/queries/{id} drills into one with a
+// mid-flight EXPLAIN ANALYZE rendering, and queries slower than
+// -slow-query (plus every errored or canceled one) land in a structured
+// slow-query log: an in-memory ring on GET /debug/slowlog, plus JSON
+// lines appended to -query-log when set.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +65,14 @@ type options struct {
 	// batch, when positive, executes every query under the batch-at-a-time
 	// protocol by default; requests override per query with X-Volcano-Batch.
 	batch int
+	// slowQuery is the slow-query log threshold: completed queries at or
+	// over it (and every errored/canceled query) get a structured log
+	// entry. 0 logs only errors/cancels; negative disables the log.
+	slowQuery time.Duration
+	// queryLog, when non-empty, appends slow-query entries to this file
+	// as slog JSON lines (the in-memory ring on /debug/slowlog is always
+	// available regardless).
+	queryLog string
 
 	// Connection hygiene: zero values get production defaults in run()
 	// so the test seam is hardened the same way the flags are.
@@ -83,6 +101,8 @@ func main() {
 	flag.DurationVar(&o.maxQueryTime, "max-query-time", 0, "per-query execution deadline (0 = unbounded)")
 	flag.IntVar(&o.planCache, "plan-cache", 128, "compiled-plan LRU capacity (negative disables)")
 	flag.IntVar(&o.batch, "batch", 0, "default batch size for query execution, overridable per request with X-Volcano-Batch (0 = record-at-a-time)")
+	flag.DurationVar(&o.slowQuery, "slow-query", time.Second, "slow-query log threshold; errored/canceled queries are always logged (0 = only those, negative = no log)")
+	flag.StringVar(&o.queryLog, "query-log", "", "append slow-query entries to this file as JSON lines (empty = in-memory ring only)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "longest to wait for in-flight queries on shutdown")
 	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "longest a client may take to send request headers")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "longest a client may take to send a whole request")
@@ -145,6 +165,18 @@ func run(o options) error {
 	btree.RegisterMetrics(mr)
 	core.RegisterMetrics(mr)
 
+	// The slow-query file sink outlives the server: closed on return,
+	// after the drain has flushed every in-flight query's entry.
+	var slowSink io.Writer
+	if o.queryLog != "" {
+		f, err := os.OpenFile(o.queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("query log: %w", err)
+		}
+		defer f.Close()
+		slowSink = f
+	}
+
 	srv, err := server.New(server.Config{
 		Env:               env,
 		Catalog:           plan.VolumeCatalog{base},
@@ -157,6 +189,8 @@ func run(o options) error {
 		PlanCacheSize:     o.planCache,
 		WriteStallTimeout: o.writeStall,
 		BatchSize:         o.batch,
+		SlowQuery:         o.slowQuery,
+		SlowLogSink:       slowSink,
 		Metrics:           mr,
 	})
 	if err != nil {

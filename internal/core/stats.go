@@ -26,15 +26,19 @@ type OpStats struct {
 }
 
 // OpStatsSnapshot is a plain-value copy of an OpStats, safe to compare,
-// print and store after the query has finished.
+// print and store after the query has finished — and, because every
+// OpStats field is atomic, equally safe to take mid-flight: a live
+// observability view (the serving layer's /debug/queries) snapshots the
+// operators of a running query with the same call. The JSON tags are the
+// wire shape of that view; durations marshal as nanosecond integers.
 type OpStatsSnapshot struct {
-	Rows      int64
-	NextCalls int64
-	Opens     int64
-	Closes    int64
-	OpenTime  time.Duration
-	NextTime  time.Duration
-	CloseTime time.Duration
+	Rows      int64         `json:"rows"`
+	NextCalls int64         `json:"calls"`
+	Opens     int64         `json:"opens"`
+	Closes    int64         `json:"closes"`
+	OpenTime  time.Duration `json:"open_ns"`
+	NextTime  time.Duration `json:"next_ns"`
+	CloseTime time.Duration `json:"close_ns"`
 }
 
 // Snapshot reads all counters.

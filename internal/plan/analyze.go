@@ -32,6 +32,10 @@ type Analysis struct {
 	pool *buffer.Pool
 	base buffer.Stats // pool counters at build time; String() shows the delta
 
+	// queryID is the serving-layer identity of the run ("" outside the
+	// query service); String() prints it and live snapshots join on it.
+	queryID string
+
 	// hubs collects the exchange hubs instantiated for each exchange node.
 	// Guarded by mu: exchange nodes nested under another exchange are built
 	// from producer goroutines at run time.
@@ -140,11 +144,20 @@ func (a *Analysis) PoolStats() buffer.Stats {
 	return a.pool.Stats().Sub(a.base)
 }
 
+// QueryID returns the serving-layer query identity stamped at build time
+// (BuildOptions.QueryID), or "" when the run had none.
+func (a *Analysis) QueryID() string { return a.queryID }
+
 // String renders the annotated plan tree: per-operator rows, Next calls
 // and open/next/close wall time; packet, stall and wait counters under
-// each exchange; and the buffer pool's totals as a footer.
+// each exchange; and the buffer pool's totals as a footer. All counters
+// are atomic, so rendering a still-running query yields a consistent
+// mid-flight view.
 func (a *Analysis) String() string {
 	var sb strings.Builder
+	if a.queryID != "" {
+		fmt.Fprintf(&sb, "query %s\n", a.queryID)
+	}
 	a.render(&sb, a.root, 0)
 	if a.pool != nil {
 		st := a.PoolStats()

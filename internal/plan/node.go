@@ -224,13 +224,31 @@ type BuildOptions struct {
 	// core.AsBatch gets the amortised batch path end to end. Zero keeps
 	// classic record-at-a-time operation.
 	BatchSize int
+	// QueryID, when non-empty, stamps the query's identity into every
+	// observability surface this build produces: the Analysis carries it
+	// (EXPLAIN ANALYZE prints a "query <id>" header, live snapshots join
+	// on it) and a tracer, when attached, gets a "query <id>" track whose
+	// begin/end instants bracket the run — so traces, logs and metrics
+	// scraped from the same process all join on one key.
+	QueryID string
 }
 
 // BuildWith instantiates the plan with the given options. The *Analysis
 // is non-nil iff o.Analyze or o.Metrics is set.
 func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterator, *Analysis, error) {
+	if o.Tracer.Enabled() && o.QueryID != "" {
+		// One instant on a query-named track: every event the run emits
+		// lands in the same trace file, and the track name carries the ID
+		// clients saw in X-Volcano-Query-Id, so a Chrome/Perfetto view
+		// joins with the server's slow-query log and response trailers.
+		o.Tracer.NewTrack("query "+o.QueryID).Instant("query", "begin")
+	}
 	if o.Analyze || o.Metrics.Enabled() {
-		return buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done, o.BatchSize)
+		it, an, err := buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done, o.BatchSize)
+		if an != nil {
+			an.queryID = o.QueryID
+		}
+		return it, an, err
 	}
 	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize}, n)
 	return it, nil, err

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// queryStatus is the wire shape of one active query on /debug/queries:
+// identity, lifecycle position, progress, and — once the iterator tree
+// exists — the live per-operator counter tree. Operators is the same
+// snapshot EXPLAIN ANALYZE aggregates, taken mid-flight off the atomic
+// OpStats the running operators are updating.
+type queryStatus struct {
+	QueryID   string           `json:"query_id"`
+	State     string           `json:"state"`
+	Plan      string           `json:"plan"`
+	Batch     int              `json:"batch"`
+	CacheHit  bool             `json:"plan_cache_hit"`
+	StartedAt time.Time        `json:"started_at"`
+	ElapsedMs float64          `json:"elapsed_ms"`
+	Rows      int64            `json:"rows"`
+	Phases    phaseMillis      `json:"phases"`
+	Operators *plan.OpSnapshot `json:"operators,omitempty"`
+
+	// Analyze is the mid-flight EXPLAIN ANALYZE rendering; only the
+	// one-query drill-down (/debug/queries/{id}) carries it.
+	Analyze string `json:"analyze,omitempty"`
+}
+
+// status renders a record for the debug endpoints.
+func (q *queryRecord) status(drilldown bool) queryStatus {
+	st := queryStatus{
+		QueryID:   q.id,
+		State:     stateName(q.state.Load()),
+		Plan:      q.source,
+		Batch:     q.batch,
+		CacheHit:  q.cacheHit,
+		StartedAt: q.started,
+		ElapsedMs: float64(time.Since(q.started)) / 1e6,
+		Rows:      q.rows.Load(),
+		Phases:    q.phases(),
+	}
+	if an := q.analysis.Load(); an != nil {
+		snap := an.Snapshot()
+		st.Operators = &snap
+		if drilldown {
+			st.Analyze = an.String()
+		}
+	}
+	return st
+}
+
+// handleDebugQueries serves GET /debug/queries: every active query with
+// live progress, oldest first.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET the active-query list", http.StatusMethodNotAllowed)
+		return
+	}
+	recs := s.reg.snapshot()
+	out := struct {
+		Active  int           `json:"active"`
+		Queries []queryStatus `json:"queries"`
+	}{Active: len(recs), Queries: make([]queryStatus, 0, len(recs))}
+	for _, q := range recs {
+		out.Queries = append(out.Queries, q.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugQuery serves GET /debug/queries/{id}: one query's drill-down
+// including the mid-flight EXPLAIN ANALYZE text.
+func (s *Server) handleDebugQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET one query's drill-down", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/queries/")
+	q, ok := s.reg.get(id)
+	if !ok {
+		http.Error(w, "no active query with that id", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, q.status(true))
+}
+
+// handleDebugSlowlog serves GET /debug/slowlog: the retained tail of the
+// slow-query log, oldest first.
+func (s *Server) handleDebugSlowlog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET the slow-query log", http.StatusMethodNotAllowed)
+		return
+	}
+	entries := s.slow.entries()
+	writeJSON(w, http.StatusOK, struct {
+		Total   int            `json:"total"`
+		Entries []slowLogEntry `json:"entries"`
+	}{Total: s.slow.total(), Entries: entries})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -20,6 +20,7 @@ type serverMetrics struct {
 	rejParse       *metrics.Counter
 	rejPlan        *metrics.Counter
 	rejTooParallel *metrics.Counter
+	rejDuplicate   *metrics.Counter // query ID collided with an active query
 
 	inFlight  *metrics.Gauge     // queries currently executing
 	queueWait *metrics.Histogram // time spent in the admission queue
@@ -30,6 +31,33 @@ type serverMetrics struct {
 	cacheMisses    *metrics.Counter
 	cacheEvictions *metrics.Counter
 	cacheInvalid   *metrics.Counter // entries purged by a catalog-version bump
+
+	// Lifecycle observability families.
+	queriesActive *metrics.Gauge     // queries in the active registry (queued + executing + streaming)
+	slowQueries   *metrics.Counter   // queries recorded in the slow-query log
+	phasePlan     *metrics.Histogram // volcano_server_query_phase_seconds{phase}
+	phaseQueued   *metrics.Histogram
+	phaseExecute  *metrics.Histogram
+	phaseStream   *metrics.Histogram
+
+	// rows by completed-query outcome; pre-created like the rejections.
+	rowsOK       *metrics.Counter
+	rowsError    *metrics.Counter
+	rowsCanceled *metrics.Counter
+}
+
+// rowsCounter maps a query outcome to its volcano_server_query_rows_total
+// child; unknown outcomes fall back to the nil (no-op) counter.
+func (m *serverMetrics) rowsCounter(outcome string) *metrics.Counter {
+	switch outcome {
+	case "ok":
+		return m.rowsOK
+	case "error":
+		return m.rowsError
+	case "canceled":
+		return m.rowsCanceled
+	}
+	return nil
 }
 
 // rejectionCounter maps an AdmitError reason to its counter. Unknown
@@ -48,6 +76,8 @@ func (m *serverMetrics) rejectionCounter(reason string) *metrics.Counter {
 		return m.rejPlan
 	case "too_parallel":
 		return m.rejTooParallel
+	case "duplicate_id":
+		return m.rejDuplicate
 	}
 	return nil
 }
@@ -74,6 +104,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.rejParse = reject("parse")
 	m.rejPlan = reject("plan")
 	m.rejTooParallel = reject("too_parallel")
+	m.rejDuplicate = reject("duplicate_id")
 	m.inFlight = r.Gauge("volcano_server_in_flight",
 		"Queries currently executing.")
 	m.queueWait = r.Histogram("volcano_server_queue_wait_seconds",
@@ -90,5 +121,26 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		"Templates evicted from the plan cache.")
 	m.cacheInvalid = r.Counter("volcano_server_plan_cache_invalidations_total",
 		"Templates purged from the plan cache by a catalog-version bump.")
+	m.queriesActive = r.Gauge("volcano_server_queries_active",
+		"Queries in the active registry: queued, executing, or streaming.")
+	m.slowQueries = r.Counter("volcano_server_slow_queries_total",
+		"Queries recorded in the slow-query log (over threshold, errored, or canceled).")
+	phase := func(name string) *metrics.Histogram {
+		return r.Histogram("volcano_server_query_phase_seconds",
+			"Wall time queries spent in each lifecycle phase.", nil,
+			metrics.Label{Key: "phase", Value: name})
+	}
+	m.phasePlan = phase(phasePlan)
+	m.phaseQueued = phase(phaseQueued)
+	m.phaseExecute = phase(phaseExecute)
+	m.phaseStream = phase(phaseStream)
+	rows := func(outcome string) *metrics.Counter {
+		return r.Counter("volcano_server_query_rows_total",
+			"Result rows streamed, by completed-query outcome.",
+			metrics.Label{Key: "outcome", Value: outcome})
+	}
+	m.rowsOK = rows("ok")
+	m.rowsError = rows("error")
+	m.rowsCanceled = rows("canceled")
 	return m
 }

@@ -74,6 +74,21 @@ type Config struct {
 	// 0 forces record-at-a-time. Zero keeps record-at-a-time execution.
 	BatchSize int
 
+	// SlowQuery is the slow-query threshold: a completed query whose
+	// plan-to-trailer wall time meets or exceeds it is recorded in the
+	// structured slow-query log. Errored and canceled queries are
+	// recorded regardless of duration. Zero keeps the duration trigger
+	// off (only errors/cancels are logged); a negative value disables
+	// the log entirely.
+	SlowQuery time.Duration
+	// SlowLogCapacity bounds the in-memory slow-query ring served on
+	// GET /debug/slowlog (default 128 entries).
+	SlowLogCapacity int
+	// SlowLogSink, when non-nil, additionally receives every slow-query
+	// entry as one slog JSON line (volcano-serve wires -query-log here).
+	// Writes happen per logged query, never per row.
+	SlowLogSink io.Writer
+
 	// Metrics, when non-nil, receives the volcano_server_* families and
 	// is served on GET /metrics.
 	Metrics *metrics.Registry
@@ -112,6 +127,8 @@ type Server struct {
 	gov   *governor
 	cache *planCache
 	life  *lifecycle
+	reg   *registry
+	slow  *slowLog
 	mux   *http.ServeMux
 
 	// catalogVersion is the current plan-cache epoch, seeded from
@@ -121,7 +138,8 @@ type Server struct {
 }
 
 // New builds a Server. The caller owns the listener; Handler returns the
-// full mux (POST /query, GET /healthz, GET /metrics, /debug/pprof/).
+// full mux (POST /query, GET /healthz, GET /metrics, GET /debug/queries
+// and /debug/queries/{id}, GET /debug/slowlog, /debug/pprof/).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Env == nil || cfg.Catalog == nil {
@@ -134,11 +152,16 @@ func New(cfg Config) (*Server, error) {
 		gov:            newGovernor(cfg.MaxConcurrent, cfg.MaxProducers, cfg.MaxQueue, m),
 		cache:          newPlanCache(cfg.PlanCacheSize, m),
 		life:           newLifecycle(),
+		reg:            newRegistry(m),
+		slow:           newSlowLog(cfg.SlowLogCapacity, cfg.SlowLogSink),
 		mux:            http.NewServeMux(),
 		catalogVersion: cfg.CatalogVersion,
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/queries/", s.handleDebugQuery)
+	s.mux.HandleFunc("/debug/slowlog", s.handleDebugSlowlog)
 	metrics.Mount(s.mux, cfg.Metrics)
 	return s, nil
 }
@@ -171,28 +194,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a plan script to /query", http.StatusMethodNotAllowed)
 		return
 	}
+
+	// Identity first: every response past this point — success, error,
+	// or rejection — names the query, in the header and in the body, so
+	// clients, traces, logs and debug views join on one key.
+	id := r.Header.Get("X-Volcano-Query-Id")
+	if id == "" {
+		id = newQueryID()
+	} else if !validQueryID(id) {
+		s.m.rejParse.Inc()
+		writeReject(w, http.StatusBadRequest, "",
+			fmt.Sprintf("server: bad X-Volcano-Query-Id %q (want 1-120 chars of [A-Za-z0-9._:-])", id), 0, nil)
+		return
+	}
+	w.Header().Set("X-Volcano-Query-Id", id)
+
 	// Register with the lifecycle before anything else so Drain's wait
 	// covers every request past this point.
 	if !s.life.enter() {
 		s.m.rejDraining.Inc()
-		http.Error(w, ErrDraining.Error(), ErrDraining.Status)
+		writeReject(w, ErrDraining.Status, id, ErrDraining.Error(), 0, nil)
 		return
 	}
 	defer s.life.exit()
 
+	start := time.Now()
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxPlanBytes))
 	if err != nil {
 		s.m.rejParse.Inc()
-		http.Error(w, fmt.Sprintf("server: reading plan: %v", err), http.StatusBadRequest)
+		writeReject(w, http.StatusBadRequest, id, fmt.Sprintf("server: reading plan: %v", err), time.Since(start), nil)
+		return
+	}
+	analyze, err := analyzeRequested(r)
+	if err != nil {
+		s.m.rejParse.Inc()
+		writeReject(w, http.StatusBadRequest, id, err.Error(), time.Since(start), nil)
+		return
+	}
+	batch, err := s.batchSize(r)
+	if err != nil {
+		s.m.rejParse.Inc()
+		writeReject(w, http.StatusBadRequest, id, err.Error(), time.Since(start), nil)
 		return
 	}
 
-	tpl, err := s.compile(string(src))
+	// Plan phase: resolve the script to a compiled template via the cache.
+	tpl, cacheHit, err := s.compile(string(src))
+	planDur := time.Since(start)
+	s.m.phasePlan.Observe(planDur)
 	if err != nil {
 		s.m.rejParse.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeReject(w, http.StatusBadRequest, id, err.Error(), planDur, nil)
 		return
 	}
+
+	// The query now has identity, a plan, and a start time: it enters the
+	// active registry and stays visible on /debug/queries until done.
+	rec := &queryRecord{id: id, source: tpl.Source(), batch: batch, cacheHit: cacheHit, started: start}
+	rec.planNs.Store(int64(planDur))
+	if err := s.reg.add(rec); err != nil {
+		s.m.rejDuplicate.Inc()
+		writeReject(w, http.StatusConflict, id, err.Error(), time.Since(start), nil)
+		return
+	}
+	defer s.reg.remove(id)
 
 	qctx := r.Context()
 	if s.cfg.MaxQueryTime > 0 {
@@ -201,36 +266,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Queued phase: admission control.
 	weight := tpl.ProducerGoroutines()
+	queuedStart := time.Now()
 	admitCtx, cancelAdmit := context.WithTimeout(qctx, s.cfg.QueueWait)
 	err = s.gov.admit(admitCtx, weight)
 	cancelAdmit()
+	queuedDur := time.Since(queuedStart)
+	rec.queuedNs.Store(int64(queuedDur))
+	s.m.phaseQueued.Observe(queuedDur)
 	if err != nil {
 		var ae *AdmitError
 		if errors.As(err, &ae) {
 			s.m.rejectionCounter(ae.Reason).Inc()
-			http.Error(w, ae.Error(), ae.Status)
+			ph := rec.phases()
+			writeReject(w, ae.Status, id, ae.Error(), time.Since(start), &ph)
+			s.finishQuery(rec, "error", fmt.Sprintf("query %s: %v", id, ae))
+			return
 		}
 		// Otherwise the client disconnected while queued; nobody is
-		// listening for a response.
+		// listening for a response, but the abandonment still makes the
+		// slow-query log — it held a queue position.
+		s.finishQuery(rec, "canceled", fmt.Sprintf("query %s: canceled while queued", id))
 		return
 	}
 	defer s.gov.release(weight)
 
-	batch, err := s.batchSize(r)
-	if err != nil {
-		s.m.rejParse.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
 	s.m.admitted.Inc()
 	s.m.inFlight.Inc()
 	defer s.m.inFlight.Dec()
-	start := time.Now()
-	defer func() { s.m.querySecs.Observe(time.Since(start)) }()
+	admitted := time.Now()
+	defer func() { s.m.querySecs.Observe(time.Since(admitted)) }()
 
-	s.execute(w, qctx, tpl, batch)
+	s.execute(w, qctx, rec, tpl, batch, analyze)
 }
 
 // batchSize resolves the effective batch size for one request: the
@@ -246,6 +314,21 @@ func (s *Server) batchSize(r *http.Request) (int, error) {
 		return 0, fmt.Errorf("server: bad X-Volcano-Batch %q (want a non-negative integer)", h)
 	}
 	return n, nil
+}
+
+// analyzeRequested reads the X-Volcano-Analyze header: "1"/"true" embeds
+// the EXPLAIN ANALYZE report of this run in the trailing status object,
+// "0"/"false"/"" (absent) does not; anything else is a 400, mirroring
+// the X-Volcano-Batch contract.
+func analyzeRequested(r *http.Request) (bool, error) {
+	switch h := r.Header.Get("X-Volcano-Analyze"); h {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("server: bad X-Volcano-Analyze %q (want 1, true, 0, or false)", h)
+	}
 }
 
 // SetCatalogVersion bumps the plan-cache epoch: subsequent lookups key
@@ -271,39 +354,59 @@ func (s *Server) currentCatalogVersion() string {
 	return s.catalogVersion
 }
 
-// compile resolves a plan source to a template via the cache.
-func (s *Server) compile(src string) (*plan.Template, error) {
+// compile resolves a plan source to a template via the cache; the bool
+// reports whether the lookup hit (so the query's lifecycle record can
+// tell a reused template from a fresh compile).
+func (s *Server) compile(src string) (*plan.Template, bool, error) {
 	key := cacheKey(s.currentCatalogVersion(), src)
 	if tpl, ok := s.cache.get(key); ok {
-		return tpl, nil
+		return tpl, true, nil
 	}
 	tpl, err := plan.Compile(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.cache.put(key, tpl)
-	return tpl, nil
+	return tpl, false, nil
 }
 
 // execute builds a fresh iterator tree from the template and streams its
 // rows. Past the 200 header, errors travel in the NDJSON trailer. A
 // positive batch runs the whole query under the batch-at-a-time protocol.
-func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.Template, batch int) {
-	it, _, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, plan.BuildOptions{
+//
+// Every build is analyzed: the instrumentation wrappers' OpStats are
+// atomic, so rec exposes live per-operator progress to /debug/queries
+// while the query runs, and the final snapshot feeds the slow-query log
+// (and, with X-Volcano-Analyze, the trailer) when it completes.
+func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryRecord, tpl *plan.Template, batch int, analyze bool) {
+	execStart := time.Now()
+	rec.state.Store(stateExecuting)
+	it, an, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, plan.BuildOptions{
+		Analyze:   true,
 		Metrics:   s.cfg.Metrics,
 		Done:      ctx.Done(),
 		BatchSize: batch,
+		QueryID:   rec.id,
 	})
 	if err != nil {
 		s.m.rejPlan.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeReject(w, http.StatusBadRequest, rec.id, err.Error(), time.Since(rec.started), nil)
+		s.finishQuery(rec, "error", err.Error())
 		return
 	}
+	rec.analysis.Store(an)
 	if err := it.Open(); err != nil {
 		s.m.rejPlan.Inc()
-		http.Error(w, fmt.Sprintf("server: open: %v", err), http.StatusInternalServerError)
+		msg := fmt.Sprintf("server: open: %v", err)
+		writeReject(w, http.StatusInternalServerError, rec.id, msg, time.Since(rec.started), nil)
+		s.finishQuery(rec, "error", msg)
 		return
 	}
+	execDur := time.Since(execStart)
+	rec.executeNs.Store(int64(execDur))
+	s.m.phaseExecute.Observe(execDur)
+	rec.state.Store(stateStreaming)
+	streamStart := time.Now()
 
 	sch := it.Schema()
 	rw := newRowWriter(sch)
@@ -327,8 +430,8 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 
 	var rows int64
 	var streamErr error
-	emit := func(rec core.Rec) error {
-		vals, err := sch.Decode(rec.Data)
+	emit := func(r core.Rec) error {
+		vals, err := sch.Decode(r.Data)
 		if err == nil {
 			_, err = w.Write(rw.row(vals))
 		}
@@ -336,6 +439,10 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 			return err
 		}
 		rows++
+		// The registry's only per-record cost: one atomic add, zero
+		// allocations (TestRegistryHotPathZeroAlloc), publishing live
+		// client-side progress to /debug/queries.
+		rec.addRows(1)
 		if flusher != nil && rows%int64(s.cfg.FlushEvery) == 0 {
 			bumpDeadline()
 			flusher.Flush()
@@ -385,8 +492,14 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 	}
 	closeErr := it.Close()
 	s.m.rowsOut.Add(rows)
+	rec.streamNs.Store(int64(time.Since(streamStart)))
+	s.m.phaseStream.Observe(time.Since(streamStart))
 
-	t := trailer{Status: "ok", Rows: rows}
+	// Errors below are stamped with the query ID: the trailer names it in
+	// query_id anyway, but cancellation and failure messages travel on to
+	// logs and client-side error reports, where the ID is the join key
+	// back to traces and the slow-query log.
+	t := trailer{Status: "ok", Rows: rows, QueryID: rec.id}
 	switch {
 	case ctx.Err() != nil:
 		// Client disconnect or deadline: the exchange teardown already ran
@@ -394,19 +507,61 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, tpl *plan.T
 		// nobody reads it.
 		s.m.canceled.Inc()
 		t.Status = "canceled"
-		t.Error = ctx.Err().Error()
+		t.Error = fmt.Sprintf("query %s: %v", rec.id, ctx.Err())
 	case streamErr != nil && !errors.Is(streamErr, core.ErrCanceled):
 		t.Status = "error"
-		t.Error = streamErr.Error()
+		t.Error = fmt.Sprintf("query %s: %v", rec.id, streamErr)
 	case closeErr != nil && !errors.Is(closeErr, core.ErrCanceled):
 		t.Status = "error"
-		t.Error = closeErr.Error()
+		t.Error = fmt.Sprintf("query %s: %v", rec.id, closeErr)
+	}
+	ph := rec.phases()
+	t.Phases = &ph
+	t.ElapsedMs = float64(time.Since(rec.started)) / 1e6
+	if analyze {
+		t.Analyze = an.String()
 	}
 	bumpDeadline()
 	_, _ = w.Write(t.render())
 	if flusher != nil {
 		flusher.Flush()
 	}
+
+	s.finishQuery(rec, t.Status, t.Error)
+}
+
+// finishQuery settles a query's lifecycle accounting: rows by outcome,
+// and — when the query was slow, errored, or canceled — one structured
+// slow-query log entry carrying the final per-operator snapshot.
+func (s *Server) finishQuery(rec *queryRecord, outcome, errText string) {
+	s.m.rowsCounter(outcome).Add(rec.rows.Load())
+	if s.cfg.SlowQuery < 0 {
+		return
+	}
+	elapsed := time.Since(rec.started)
+	slow := s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery
+	if outcome == "ok" && !slow {
+		return
+	}
+	var ops *plan.OpSnapshot
+	if an := rec.analysis.Load(); an != nil {
+		snap := an.Snapshot()
+		ops = &snap
+	}
+	s.m.slowQueries.Inc()
+	s.slow.record(slowLogEntry{
+		Time:      time.Now(),
+		QueryID:   rec.id,
+		Plan:      rec.source,
+		Batch:     rec.batch,
+		CacheHit:  rec.cacheHit,
+		Outcome:   outcome,
+		Error:     errText,
+		Rows:      rec.rows.Load(),
+		ElapsedMs: float64(elapsed) / 1e6,
+		Phases:    rec.phases(),
+		Operators: ops,
+	})
 }
 
 // lifecycle tracks in-flight requests and the draining flag. It replaces

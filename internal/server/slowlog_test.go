@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// lockedBuffer is a concurrency-safe bytes.Buffer: the slow-log sink is
+// written from handler goroutines while the test polls it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// normalizeSlowLog strips the volatile parts of one slog JSON line —
+// wall-clock timestamps and every duration — leaving the stable schema:
+// identity, plan, outcome, row counts, operator tree shape. Keys are
+// zeroed rather than dropped, so the golden file still pins that every
+// timing field exists.
+func normalizeSlowLog(t *testing.T, line []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("slow-log line is not JSON: %v\n%s", err, line)
+	}
+	var scrub func(m map[string]any)
+	scrub = func(m map[string]any) {
+		for k, v := range m {
+			switch {
+			case k == "time" || k == "ts":
+				m[k] = "SCRUBBED"
+			case strings.HasSuffix(k, "_ms") || strings.HasSuffix(k, "_ns"):
+				m[k] = 0
+			}
+			switch vv := v.(type) {
+			case map[string]any:
+				scrub(vv)
+			case []any:
+				for _, e := range vv {
+					if em, ok := e.(map[string]any); ok {
+						scrub(em)
+					}
+				}
+			}
+		}
+	}
+	scrub(m)
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestSlowLogGolden pins the slow-query log schema end to end: a server
+// with a 1ns threshold logs every completed query to the slog sink, and
+// the normalized JSON line — identity, normalized plan, outcome, phase
+// keys, the whole per-operator snapshot — must match the golden file.
+// The fixture tables are deterministic, so everything except wall-clock
+// values is byte-stable.
+func TestSlowLogGolden(t *testing.T) {
+	sink := &lockedBuffer{}
+	_, _, ts, _ := newTestServer(t, func(c *Config) {
+		c.SlowQuery = time.Nanosecond
+		c.SlowLogSink = sink
+	})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		strings.NewReader("scan emp | filter dept = 2 | sort salary desc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Volcano-Query-Id", "golden-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+
+	// The sink write races the client seeing the response end; poll.
+	waitFor(t, 5*time.Second, "slow-log sink line", func() bool {
+		return strings.Contains(sink.String(), "golden-1")
+	})
+	line := []byte(strings.SplitN(strings.TrimSpace(sink.String()), "\n", 2)[0])
+	got := normalizeSlowLog(t, line)
+
+	goldenPath := filepath.Join("testdata", "slowlog.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("slow-log entry drifted from golden (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The same entry is retained on the in-memory ring with the same ID.
+	dresp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var page struct {
+		Total   int            `json:"total"`
+		Entries []slowLogEntry `json:"entries"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || len(page.Entries) != 1 {
+		t.Fatalf("/debug/slowlog total=%d entries=%d, want 1/1", page.Total, len(page.Entries))
+	}
+	e := page.Entries[0]
+	if e.QueryID != "golden-1" || e.Outcome != "ok" || e.Operators == nil {
+		t.Errorf("ring entry = %+v, want golden-1/ok with operators", e)
+	}
+}
+
+// TestSlowLogErrorsAlwaysLogged pins the outcome triggers at threshold
+// zero: fast successful queries stay out of the log, canceled ones land
+// in it regardless of duration, carrying the final operator snapshot and
+// the ID-stamped error.
+func TestSlowLogErrorsAlwaysLogged(t *testing.T) {
+	srv, _, ts, mr := newTestServer(t, func(c *Config) {
+		c.SlowQuery = 0 // only errors/cancels
+	})
+
+	if res, err := postQuery(ts, "scan dept"); err != nil || res.status != http.StatusOK {
+		t.Fatalf("ok query: %v status %d", err, res.status)
+	}
+	if n := srv.slow.total(); n != 0 {
+		t.Fatalf("ok query logged at threshold 0: total=%d", n)
+	}
+
+	// Cancel mid-stream: read a little, then slam the connection shut.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(heavyQuery))
+	req.Header.Set("X-Volcano-Query-Id", "cancel-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(resp.Body, make([]byte, 16<<10)); err != nil {
+		t.Fatalf("priming stream: %v", err)
+	}
+	resp.Body.Close()
+
+	waitFor(t, 10*time.Second, "canceled query in slow log", func() bool {
+		return srv.slow.total() >= 1
+	})
+	entries := srv.slow.entries()
+	e := entries[len(entries)-1]
+	if e.QueryID != "cancel-me" || e.Outcome != "canceled" {
+		t.Fatalf("entry = %s/%s, want cancel-me/canceled", e.QueryID, e.Outcome)
+	}
+	if !strings.Contains(e.Error, "query cancel-me:") {
+		t.Errorf("error not stamped with the query ID: %q", e.Error)
+	}
+	if e.Operators == nil || e.Rows == 0 {
+		t.Errorf("canceled entry lacks progress: rows=%d operators=%v", e.Rows, e.Operators)
+	}
+	if got := mr.Counter("volcano_server_slow_queries_total", "").Value(); got != 1 {
+		t.Errorf("slow_queries_total = %d, want 1", got)
+	}
+	if got := mr.Counter("volcano_server_query_rows_total", "",
+		metrics.Label{Key: "outcome", Value: "canceled"}).Value(); got != e.Rows {
+		t.Errorf("query_rows_total{canceled} = %d, want %d", got, e.Rows)
+	}
+}
+
+// TestSlowLogRingBound pins the ring semantics: capacity bounds what is
+// retained, total keeps counting, order stays oldest-first.
+func TestSlowLogRingBound(t *testing.T) {
+	l := newSlowLog(2, nil)
+	for i := 0; i < 5; i++ {
+		l.record(slowLogEntry{QueryID: fmt.Sprintf("q%d", i)})
+	}
+	if l.total() != 5 {
+		t.Fatalf("total = %d, want 5", l.total())
+	}
+	got := l.entries()
+	if len(got) != 2 || got[0].QueryID != "q3" || got[1].QueryID != "q4" {
+		t.Fatalf("entries = %+v, want [q3 q4]", got)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"math"
+	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/record"
 )
@@ -73,16 +75,53 @@ func appendValue(b []byte, v record.Value) []byte {
 	}
 }
 
-// trailer is the status object terminating every NDJSON response body.
-// Its presence distinguishes a complete result from a truncated one, and
-// carries errors that surface only after the 200 header is on the wire.
+// phaseMillis is the lifecycle phase breakdown attached to trailers,
+// debug views and slow-query log entries: wall milliseconds spent in
+// each phase of one query's life.
+type phaseMillis struct {
+	PlanMs    float64 `json:"plan_ms"`
+	QueuedMs  float64 `json:"queued_ms"`
+	ExecuteMs float64 `json:"execute_ms"`
+	StreamMs  float64 `json:"stream_ms"`
+}
+
+// trailer is the status object terminating every NDJSON response body —
+// and, with the same schema, the whole body of pre-stream rejections
+// (400/429/503), so clients parse exactly one object shape on every
+// path. Its presence distinguishes a complete result from a truncated
+// one, and it carries the query's identity and timing: QueryID matches
+// the X-Volcano-Query-Id response header, ElapsedMs covers plan-to-
+// trailer, and Phases breaks that down by lifecycle phase.
 type trailer struct {
-	Status string `json:"status"` // "ok", "error", or "canceled"
-	Rows   int64  `json:"rows"`
-	Error  string `json:"error,omitempty"`
+	Status    string       `json:"status"` // "ok", "error", or "canceled"
+	Rows      int64        `json:"rows"`
+	QueryID   string       `json:"query_id,omitempty"`
+	ElapsedMs float64      `json:"elapsed_ms,omitempty"`
+	Phases    *phaseMillis `json:"phases,omitempty"`
+	// Analyze carries the EXPLAIN ANALYZE report of this run when the
+	// request asked for it with X-Volcano-Analyze: 1.
+	Analyze string `json:"analyze,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 func (t trailer) render() []byte {
 	b, _ := json.Marshal(t)
 	return append(b, '\n')
+}
+
+// writeReject writes a pre-stream rejection: an HTTP error status whose
+// body is one trailer-shaped JSON object. Rejections before the stream
+// starts and failures after it share one schema, so a client parses the
+// last line of any /query response body the same way.
+func writeReject(w http.ResponseWriter, status int, id, msg string, elapsed time.Duration, ph *phaseMillis) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_, _ = w.Write(trailer{
+		Status:    "error",
+		QueryID:   id,
+		ElapsedMs: float64(elapsed) / 1e6,
+		Phases:    ph,
+		Error:     msg,
+	}.render())
 }
