@@ -52,8 +52,13 @@ import (
 // options carries everything a volcano-serve invocation needs; flags in
 // main fill one in, tests construct them directly.
 type options struct {
-	db            string
-	addr          string
+	db   string
+	addr string
+	// metricsAddr, when non-empty, binds a second listener serving only
+	// the operations surface: /metrics, /buildinfo, /debug/pprof/,
+	// /debug/queries and /debug/slowlog — no /query. It lets a deployment
+	// keep the query port client-facing and the monitoring port internal.
+	metricsAddr   string
 	frames        int
 	maxConcurrent int
 	maxProducers  int
@@ -84,6 +89,9 @@ type options struct {
 	// readyHook, when set, is called with the bound listener address once
 	// the service accepts connections. Test seam.
 	readyHook func(addr string)
+	// metricsReadyHook, when set, is called with the bound -metrics
+	// listener address. Test seam.
+	metricsReadyHook func(addr string)
 	// stop, when non-nil, triggers the same graceful drain as SIGTERM
 	// when it becomes readable. Test seam.
 	stop <-chan struct{}
@@ -93,6 +101,7 @@ func main() {
 	var o options
 	flag.StringVar(&o.db, "db", "", "durable database file to serve (required; create with volcano -db)")
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "separate listen address for the operations surface: /metrics, /buildinfo, pprof and the /debug views without /query (empty = main address only)")
 	flag.IntVar(&o.frames, "frames", 4096, "buffer pool frames shared by all queries")
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 4, "queries executing at once")
 	flag.IntVar(&o.maxProducers, "max-producers", 64, "total exchange producer goroutines across all queries")
@@ -164,6 +173,7 @@ func run(o options) error {
 	device.RegisterMetrics(mr)
 	btree.RegisterMetrics(mr)
 	core.RegisterMetrics(mr)
+	metrics.RegisterGoRuntime(mr)
 
 	// The slow-query file sink outlives the server: closed on return,
 	// after the drain has flushed every in-flight query's entry.
@@ -215,8 +225,33 @@ func run(o options) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "volcano-serve: build %s\n", metrics.ReadBuildInfo())
 	fmt.Fprintf(os.Stderr, "volcano-serve: %s: %d tables, %d indexes; serving on http://%s\n",
 		o.db, len(base.List()), len(base.Indexes()), ln.Addr())
+
+	// Optional operations listener: the monitoring surface without /query.
+	var metricsSrv *http.Server
+	if o.metricsAddr != "" {
+		mln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mmux := http.NewServeMux()
+		metrics.Mount(mmux, mr)
+		srv.MountDebug(mmux)
+		metricsSrv = &http.Server{Handler: mmux, ReadHeaderTimeout: o.readHeaderTimeout}
+		go func() { _ = metricsSrv.Serve(mln) }()
+		fmt.Fprintf(os.Stderr, "volcano-serve: metrics on http://%s\n", mln.Addr())
+		if o.metricsReadyHook != nil {
+			o.metricsReadyHook(mln.Addr().String())
+		}
+	}
+	defer func() {
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
+		}
+	}()
+
 	if o.readyHook != nil {
 		o.readyHook(ln.Addr().String())
 	}

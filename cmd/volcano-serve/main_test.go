@@ -69,21 +69,24 @@ func TestServeEndToEnd(t *testing.T) {
 	db := buildTestDB(t, rows)
 
 	ready := make(chan string, 1)
+	metricsReady := make(chan string, 1)
 	stop := make(chan struct{})
 	runErr := make(chan error, 1)
 	go func() {
 		runErr <- run(options{
-			db:            db,
-			addr:          "127.0.0.1:0",
-			frames:        256,
-			maxConcurrent: 2,
-			maxProducers:  16,
-			maxQueue:      4,
-			queueWait:     5 * time.Second,
-			planCache:     16,
-			drainTimeout:  10 * time.Second,
-			readyHook:     func(addr string) { ready <- addr },
-			stop:          stop,
+			db:               db,
+			addr:             "127.0.0.1:0",
+			metricsAddr:      "127.0.0.1:0",
+			frames:           256,
+			maxConcurrent:    2,
+			maxProducers:     16,
+			maxQueue:         4,
+			queueWait:        5 * time.Second,
+			planCache:        16,
+			drainTimeout:     10 * time.Second,
+			readyHook:        func(addr string) { ready <- addr },
+			metricsReadyHook: func(addr string) { metricsReady <- addr },
+			stop:             stop,
 		})
 	}()
 	var addr string
@@ -95,6 +98,13 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal("server never became ready")
 	}
 	base := "http://" + addr
+	var mbase string
+	select {
+	case maddr := <-metricsReady:
+		mbase = "http://" + maddr
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics listener never became ready")
+	}
 
 	resp, err := http.Post(base+"/query", "text/plain", strings.NewReader("scan emp | filter dept = 1 | sort id desc"))
 	if err != nil {
@@ -127,6 +137,13 @@ func TestServeEndToEnd(t *testing.T) {
 	if last["status"] != "ok" || got != rows/4 {
 		t.Fatalf("trailer %v, rows %d (want %d)", last, got, rows/4)
 	}
+	res, ok := last["resources"].(map[string]any)
+	if !ok {
+		t.Fatalf("trailer has no resources block: %v", last)
+	}
+	if res["buffer_fixes"].(float64) <= 0 || res["rows_streamed"].(float64) != float64(got) {
+		t.Fatalf("resources block not attributed: %v", res)
+	}
 
 	hz, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -148,6 +165,46 @@ func TestServeEndToEnd(t *testing.T) {
 	for _, f := range []string{"volcano_server_admitted_total", "volcano_buffer_fixes_total"} {
 		if fams[f] == 0 {
 			t.Errorf("scrape missing family %s", f)
+		}
+	}
+
+	// The -metrics listener serves the operations surface — the full
+	// scrape (including the per-query accounting and Go runtime families
+	// stamped by this build), /buildinfo, and the debug views — but not
+	// /query.
+	mm, err := http.Get(mbase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfams, err := metrics.ParseText(mm.Body)
+	mm.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics-listener scrape does not parse: %v", err)
+	}
+	for _, f := range []string{
+		"volcano_server_query_cpu_seconds_total",
+		"volcano_server_query_io_bytes_total",
+		"volcano_server_query_buffer_fixes_total",
+		"volcano_go_goroutines",
+		"volcano_build_info",
+	} {
+		if mfams[f] == 0 {
+			t.Errorf("metrics-listener scrape missing family %s", f)
+		}
+	}
+	for path, want := range map[string]int{
+		"/buildinfo":     http.StatusOK,
+		"/debug/queries": http.StatusOK,
+		"/debug/slowlog": http.StatusOK,
+		"/query":         http.StatusNotFound,
+	} {
+		r, err := http.Get(mbase + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("metrics listener GET %s = %d, want %d", path, r.StatusCode, want)
 		}
 	}
 

@@ -2,10 +2,15 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/record"
 	"repro/internal/storage/file"
 )
+
+// batchRecBytes is the accounting size of one batch record slot, used to
+// express batch-pool occupancy in bytes for per-query memory attribution.
+const batchRecBytes = int64(unsafe.Sizeof(Rec{}))
 
 // DefaultBatchSize is the default number of records per batch. It matches
 // the standard exchange packet size so that in batch mode one producer
@@ -240,7 +245,16 @@ type BatchPool struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	discards atomic.Int64
+
+	// meter, when set, attributes the pool's memory footprint to one
+	// query: allocations (misses) add to its live/high-water bytes,
+	// discards subtract. Steady-state hits and puts touch nothing.
+	meter *ResourceMeter
 }
+
+// MeterTo attributes the pool's batch memory to m (nil disables). Set
+// before the pool is shared between goroutines.
+func (p *BatchPool) MeterTo(m *ResourceMeter) { p.meter = m }
 
 // NewBatchPool builds a free list bounded to size batches of the given
 // target fill.
@@ -265,6 +279,7 @@ func (p *BatchPool) Get() *Batch {
 	default:
 		p.misses.Add(1)
 		xmBatchPoolMisses.Add(1)
+		p.meter.BatchAlloc(int64(p.target) * batchRecBytes)
 		return NewBatch(p.target)
 	}
 }
@@ -283,6 +298,7 @@ func (p *BatchPool) Put(b *Batch) {
 	default:
 		p.discards.Add(1)
 		xmBatchPoolDiscards.Add(1)
+		p.meter.BatchFree(int64(cap(b.own)) * batchRecBytes)
 	}
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,6 +137,17 @@ type ExchangeConfig struct {
 	// handshake, one track per goroutine. nil disables tracing at the
 	// cost of one branch per event site.
 	Tracer *trace.Tracer
+
+	// Meter, when set, attributes the hub's port traffic (packets and
+	// records pushed) to one query's resource meter. nil disables the
+	// accounting at the cost of one branch per packet.
+	Meter *ResourceMeter
+
+	// QueryID, when set, tags every producer goroutine with pprof labels
+	// (query_id, op) so CPU profiles segment by query. Labels are applied
+	// once per producer spawn — never on the per-record path — and
+	// propagate to any goroutines the producer subtree forks itself.
+	QueryID string
 }
 
 // NewExchange validates the configuration and creates the hub.
@@ -183,6 +196,7 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) {
 		// list with headroom so the shutdown race (a batch returned while
 		// another producer refills) never forces a steady-state miss.
 		x.batches = NewBatchPool(2*cfg.Producers, cfg.BatchSize)
+		x.batches.MeterTo(cfg.Meter)
 	}
 	return x, nil
 }
@@ -338,7 +352,7 @@ func (x *Exchange) ensureStarted() {
 			for g := 0; g < x.cfg.Producers; g++ {
 				g := g
 				mtk.Instant1("exchange", "submit", "producer", int64(g))
-				x.cfg.Pool.Submit(func() { x.producerLoop(g) })
+				x.cfg.Pool.Submit(x.labeled(func() { x.producerLoop(g) }))
 			}
 		case x.cfg.Fork == ForkTree:
 			ids := make([]int, x.cfg.Producers)
@@ -346,16 +360,34 @@ func (x *Exchange) ensureStarted() {
 				ids[i] = i
 			}
 			x.forkCall(mtk)
-			go x.spawnTree(ids)
+			// Labels set on the tree root propagate to every goroutine the
+			// tree forks below it.
+			go x.labeled(func() { x.spawnTree(ids) })()
 		default: // ForkCentral
 			for g := 0; g < x.cfg.Producers; g++ {
+				g := g
 				x.forkCall(mtk)
-				go x.producerLoop(g)
+				go x.labeled(func() { x.producerLoop(g) })()
 			}
 		}
 		x.spawnTime.Add(int64(time.Since(begin)))
 		mtk.SpanAt1("exchange", "spawn", begin, time.Since(begin), "producers", int64(x.cfg.Producers))
 	})
+}
+
+// labeled wraps a producer entry point with the query's pprof labels
+// (query_id, op) via pprof.Do, so /debug/pprof profiles segment producer
+// CPU by query. Without a QueryID it returns fn unchanged. Worker-pool
+// goroutines outlive the query, so the labels are scoped to the wrapped
+// call rather than inherited from the spawner.
+func (x *Exchange) labeled(fn func()) func() {
+	if x.cfg.QueryID == "" {
+		return fn
+	}
+	labels := pprof.Labels("query_id", x.cfg.QueryID, "op", "exchange-producer")
+	return func() {
+		pprof.Do(context.Background(), labels, func(context.Context) { fn() })
+	}
 }
 
 // forkCall models one fork(2) invocation, recorded as a fork instant on
@@ -497,6 +529,7 @@ func (x *Exchange) finishProducer(g int, out *outbox, input Iterator, tk *trace.
 			p.eos = true
 			p.err = x.firstErr()
 			x.packetsSent.Add(1)
+			x.cfg.Meter.ExchangePush(0)
 			q.push(p, tk)
 		}
 	}
@@ -607,6 +640,7 @@ func (o *outbox) push(c int, eos bool) {
 	}
 	o.x.recordsSent.Add(int64(len(p.recs)))
 	o.x.packetsSent.Add(1)
+	o.x.cfg.Meter.ExchangePush(len(p.recs))
 	if o.tk != nil {
 		p.flow = o.x.cfg.Tracer.NextFlowID()
 		o.tk.FlowOut("packet", "push", p.flow, "records", int64(len(p.recs)))

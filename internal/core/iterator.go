@@ -10,10 +10,22 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/meter"
 	"repro/internal/record"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/file"
 )
+
+// ResourceMeter accumulates one query's resource usage across every
+// layer: buffer-pool fixes, device I/O, exchange and wire traffic,
+// batch-pool memory, rows streamed, CPU time. It is an alias for the
+// low-level meter type so the storage layer can account against it
+// without importing core. A nil meter disables accounting everywhere.
+type ResourceMeter = meter.Meter
+
+// ResourceSnapshot is the plain-value copy of a ResourceMeter (the wire
+// shape of the server's `resources` block).
+type ResourceSnapshot = meter.Snapshot
 
 // Rec is the element type of all streams: Volcano's NEXT_RECORD, a pinned
 // buffer resident owned by exactly one operator at a time.
@@ -44,23 +56,44 @@ type Env struct {
 	Pool *buffer.Pool
 	Temp *file.Volume
 
-	tmpSeq atomic.Uint64
+	// meter, when set, attributes the resource usage of operators built
+	// over this Env — temp-file spills in particular — to one query.
+	meter *ResourceMeter
+
+	// tmpSeq is shared between an Env and every meter-scoped derivation
+	// (WithMeter), so temp names stay unique across concurrent queries.
+	tmpSeq *atomic.Uint64
 }
 
 // NewEnv builds an Env over the given pool and temp volume. The temp
 // volume should live on a virtual (Mem) device.
 func NewEnv(pool *buffer.Pool, temp *file.Volume) *Env {
-	return &Env{Pool: pool, Temp: temp}
+	return &Env{Pool: pool, Temp: temp, tmpSeq: new(atomic.Uint64)}
 }
+
+// WithMeter returns a derived Env attributing resource usage to m. The
+// pool, temp volume and temp-name sequence are shared with the receiver;
+// only the attribution differs. A nil meter returns the receiver.
+func (e *Env) WithMeter(m *ResourceMeter) *Env {
+	if m == nil {
+		return e
+	}
+	return &Env{Pool: e.Pool, Temp: e.Temp, meter: m, tmpSeq: e.tmpSeq}
+}
+
+// Meter returns the meter usage is attributed to (nil = disabled).
+func (e *Env) Meter() *ResourceMeter { return e.meter }
 
 // TempName returns a fresh unique name for an intermediate-result file.
 func (e *Env) TempName(prefix string) string {
 	return fmt.Sprintf("%s.%d", prefix, e.tmpSeq.Add(1))
 }
 
-// CreateTemp creates an intermediate-result file on the temp volume.
+// CreateTemp creates an intermediate-result file on the temp volume. When
+// the Env carries a meter the file's pool activity — the spill I/O of
+// sort, hash join and aggregation — is attributed to it.
 func (e *Env) CreateTemp(prefix string, schema *record.Schema) (*file.File, error) {
-	return e.Temp.Create(e.TempName(prefix), schema)
+	return e.Temp.CreateWith(e.TempName(prefix), schema, e.meter)
 }
 
 // DropTemp deletes an intermediate-result file. All of its records must

@@ -80,6 +80,10 @@ type NetExchangeConfig struct {
 	// tracks live on distinct trace pids — one per site — because each
 	// group member models its own machine.
 	Tracer *trace.Tracer
+
+	// Meter, when set, attributes wire traffic (packets sent and the
+	// bytes of their record images) to one query's resource meter.
+	Meter *ResourceMeter
 }
 
 // netPacket carries copied record images. The images live in the
@@ -333,6 +337,7 @@ func (n *NetExchange) producerLoop(g int) {
 		n.bytes.Add(int64(size))
 		xmNetPackets.Add(1)
 		xmNetBytes.Add(int64(size))
+		n.cfg.Meter.WireSend(size)
 		if tk != nil {
 			p.flow = n.cfg.Tracer.NextFlowID()
 			tk.FlowOut("wire", "wire-send", p.flow, "bytes", int64(size))
@@ -437,6 +442,7 @@ func (n *NetExchange) broadcastEOS(tk *trace.Track) {
 	for c, q := range n.queues {
 		n.packets.Add(1)
 		xmNetPackets.Add(1)
+		n.cfg.Meter.WireSend(0)
 		tk.Instant1("exchange", "eos", "consumer", int64(c))
 		p := n.pool.get()
 		p.eos = true

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestBuildInfo pins the process-identity surface: ReadBuildInfo always
+// reports the toolchain, /buildinfo serves it as JSON, and mounting the
+// monitoring surface stamps the registry with a constant-1
+// volcano_build_info gauge whose labels carry the same facts.
+func TestBuildInfo(t *testing.T) {
+	b := ReadBuildInfo()
+	if b.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", b.GoVersion, runtime.Version())
+	}
+	if b.Version == "" {
+		t.Error("Version is empty; want a version string or the unknown sentinel")
+	}
+	if !strings.Contains(b.String(), "go="+runtime.Version()) {
+		t.Errorf("String() = %q, want it to name the toolchain", b.String())
+	}
+
+	rec := httptest.NewRecorder()
+	HandleBuildInfo(rec, httptest.NewRequest("GET", "/buildinfo", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/buildinfo body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.GoVersion != runtime.Version() || body.Version == "" {
+		t.Errorf("/buildinfo = %+v, want go_version %q and a version", body, runtime.Version())
+	}
+
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if _, err := ParseText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("exposition failed strict parse: %v\n%s", err, doc)
+	}
+	if !strings.Contains(doc, "volcano_build_info{") || !strings.Contains(doc, `go="`+runtime.Version()+`"`) {
+		t.Errorf("volcano_build_info gauge missing or unlabeled:\n%s", doc)
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "volcano_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("volcano_build_info sample %q, want constant 1", line)
+		}
+	}
+}

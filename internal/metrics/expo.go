@@ -25,12 +25,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 		name, help string
 		kind       familyKind
 		fn         func() float64
+		hfn        func() HistogramSnapshot
 		kids       []*child
 	}
 	r.mu.Lock()
 	fams := make([]famSnap, 0, len(r.families))
 	for _, f := range r.families {
-		s := famSnap{name: f.name, help: f.help, kind: f.kind, fn: f.fn}
+		s := famSnap{name: f.name, help: f.help, kind: f.kind, fn: f.fn, hfn: f.hfn}
 		s.kids = make([]*child, 0, len(f.children))
 		for _, c := range f.children {
 			s.kids = append(s.kids, c)
@@ -53,6 +54,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 		bw.WriteByte('\n')
 		if f.kind == kindCounterFunc || f.kind == kindGaugeFunc {
 			writeSample(bw, f.name, "", formatValue(f.fn()))
+			continue
+		}
+		if f.kind == kindHistogramFunc {
+			writeHistogram(bw, f.name, "", f.hfn())
 			continue
 		}
 		sort.Slice(f.kids, func(i, j int) bool { return f.kids[i].labels < f.kids[j].labels })

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	rtm "runtime/metrics"
+)
+
+// RegisterGoRuntime exposes the Go runtime's own health through a
+// registry as volcano_go_* families: scheduler load, heap footprint,
+// allocation throughput, GC count and the GC stop-the-world pause
+// distribution. Everything is read from runtime/metrics at scrape time
+// (SetGaugeFunc / SetCounterFunc / SetHistogramFunc callbacks), so the
+// process pays nothing between scrapes and no third-party collector is
+// involved. Metrics the running toolchain does not provide are skipped
+// rather than exported as zeros. A nil registry is a no-op.
+func RegisterGoRuntime(r *Registry) {
+	if !r.Enabled() {
+		return
+	}
+	gauge := func(name, help, metric string) {
+		if !runtimeMetricSupported(metric) {
+			return
+		}
+		r.SetGaugeFunc(name, help, func() float64 { return readRuntimeValue(metric) })
+	}
+	counter := func(name, help, metric string) {
+		if !runtimeMetricSupported(metric) {
+			return
+		}
+		r.SetCounterFunc(name, help, func() float64 { return readRuntimeValue(metric) })
+	}
+	gauge("volcano_go_goroutines",
+		"Goroutines currently live in the process.",
+		"/sched/goroutines:goroutines")
+	gauge("volcano_go_heap_objects_bytes",
+		"Bytes occupied by live and not-yet-swept heap objects.",
+		"/memory/classes/heap/objects:bytes")
+	gauge("volcano_go_memory_total_bytes",
+		"Total bytes of memory mapped by the Go runtime.",
+		"/memory/classes/total:bytes")
+	counter("volcano_go_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.",
+		"/gc/heap/allocs:bytes")
+	counter("volcano_go_gc_cycles_total",
+		"Completed GC cycles.",
+		"/gc/cycles/total:gc-cycles")
+	if runtimeMetricSupported(gcPauseMetric) {
+		r.SetHistogramFunc("volcano_go_gc_pause_seconds",
+			"Distribution of GC stop-the-world pause latencies.",
+			readGCPauses)
+	}
+}
+
+// gcPauseMetric is the runtime's GC stop-the-world pause histogram.
+const gcPauseMetric = "/sched/pauses/total/gc:seconds"
+
+// runtimeMetricSupported reports whether the running toolchain provides
+// the metric (names come and go across Go releases).
+func runtimeMetricSupported(name string) bool {
+	s := []rtm.Sample{{Name: name}}
+	rtm.Read(s)
+	return s[0].Value.Kind() != rtm.KindBad
+}
+
+// readRuntimeValue reads one scalar runtime metric as a float.
+func readRuntimeValue(name string) float64 {
+	s := []rtm.Sample{{Name: name}}
+	rtm.Read(s)
+	switch s[0].Value.Kind() {
+	case rtm.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case rtm.KindFloat64:
+		return s[0].Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// readGCPauses converts the runtime's float-seconds pause histogram into
+// a HistogramSnapshot (nanosecond bounds, per-bucket counts, trailing
+// overflow bucket). The runtime reports bucket boundaries, possibly
+// including ±Inf at the edges, but no sum; SumNanos is estimated from
+// bucket midpoints (overflow observations count their lower edge), which
+// keeps the exposition's _sum/_count consistent with the buckets without
+// claiming precision the source does not have.
+func readGCPauses() HistogramSnapshot {
+	s := []rtm.Sample{{Name: gcPauseMetric}}
+	rtm.Read(s)
+	if s[0].Value.Kind() != rtm.KindFloat64Histogram {
+		return HistogramSnapshot{}
+	}
+	h := s[0].Value.Float64Histogram()
+	return convertRuntimeHistogram(h.Buckets, h.Counts)
+}
+
+// convertRuntimeHistogram maps a runtime/metrics histogram (boundaries
+// in float seconds, counts per interval) onto HistogramSnapshot.
+func convertRuntimeHistogram(buckets []float64, counts []uint64) HistogramSnapshot {
+	if len(buckets) < 2 || len(counts) != len(buckets)-1 {
+		return HistogramSnapshot{}
+	}
+	var snap HistogramSnapshot
+	var sum float64
+	for i, c := range counts {
+		lo, hi := buckets[i], buckets[i+1]
+		n := int64(c)
+		if math.IsInf(hi, +1) {
+			// Overflow interval: our +Inf bucket.
+			snap.Counts = append(snap.Counts, n)
+			if !math.IsInf(lo, -1) {
+				sum += float64(n) * lo
+			}
+			break
+		}
+		snap.Bounds = append(snap.Bounds, int64(hi*1e9))
+		snap.Counts = append(snap.Counts, n)
+		mid := hi
+		if !math.IsInf(lo, -1) {
+			mid = (lo + hi) / 2
+		}
+		sum += float64(n) * mid
+	}
+	// No +Inf boundary at the end: add an empty overflow bucket so the
+	// snapshot keeps its len(Counts) == len(Bounds)+1 invariant.
+	if len(snap.Counts) == len(snap.Bounds) {
+		snap.Counts = append(snap.Counts, 0)
+	}
+	snap.SumNanos = int64(sum * 1e9)
+	return snap
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoRuntimeExposition registers the volcano_go_* families, forces a
+// GC so the pause histogram has observations, and feeds the rendered
+// exposition through the strict parser: every family present, every
+// line well-formed, histogram bucket discipline intact.
+func TestGoRuntimeExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	runtime.GC()
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	counts, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("exposition failed strict parse: %v\n%s", err, doc)
+	}
+	for _, fam := range []string{
+		"volcano_go_goroutines",
+		"volcano_go_heap_objects_bytes",
+		"volcano_go_memory_total_bytes",
+		"volcano_go_alloc_bytes_total",
+		"volcano_go_gc_cycles_total",
+		"volcano_go_gc_pause_seconds",
+	} {
+		if counts[fam] == 0 {
+			t.Errorf("family %s missing from exposition:\n%s", fam, doc)
+		}
+	}
+
+	// Value sanity beyond syntax: this process has goroutines and, after
+	// the forced GC above, at least one observed pause.
+	if v := sampleValue(t, doc, "volcano_go_goroutines "); v < 1 {
+		t.Errorf("volcano_go_goroutines = %v, want >= 1", v)
+	}
+	if v := sampleValue(t, doc, "volcano_go_gc_pause_seconds_count "); v < 1 {
+		t.Errorf("volcano_go_gc_pause_seconds_count = %v, want >= 1 after runtime.GC()", v)
+	}
+}
+
+// sampleValue extracts the value of the first sample line starting with
+// the given prefix (metric name plus trailing space for unlabeled
+// samples).
+func sampleValue(t *testing.T, doc, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, prefix)), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample with prefix %q in:\n%s", prefix, doc)
+	return 0
+}
+
+// TestConvertRuntimeHistogram pins the shape mapping from a
+// runtime/metrics float-seconds histogram (boundaries with ±Inf edges,
+// counts per interval) to HistogramSnapshot (nanosecond upper bounds,
+// trailing overflow bucket).
+func TestConvertRuntimeHistogram(t *testing.T) {
+	s := convertRuntimeHistogram(
+		[]float64{math.Inf(-1), 0.001, 0.01, math.Inf(1)},
+		[]uint64{1, 2, 3},
+	)
+	wantBounds := []int64{1e6, 1e7}
+	if len(s.Bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if s.Bounds[i] != b {
+			t.Errorf("bound[%d] = %d, want %d", i, s.Bounds[i], b)
+		}
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("len(Counts) = %d, want len(Bounds)+1 = %d", len(s.Counts), len(s.Bounds)+1)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if s.Counts[i] != want {
+			t.Errorf("count[%d] = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count() != 6 {
+		t.Errorf("total = %d, want 6", s.Count())
+	}
+
+	// No +Inf edge: an empty overflow bucket keeps the invariant.
+	s = convertRuntimeHistogram([]float64{0, 0.5, 1}, []uint64{4, 5})
+	if len(s.Counts) != len(s.Bounds)+1 || s.Counts[len(s.Counts)-1] != 0 {
+		t.Errorf("missing empty overflow bucket: bounds=%v counts=%v", s.Bounds, s.Counts)
+	}
+}

@@ -20,11 +20,15 @@ func (r *Registry) Handler() http.Handler {
 
 // Mount registers the monitoring endpoints on an existing mux: GET
 // /metrics serving the registry (which may be nil — the exposition is
-// then empty) and the standard pprof handlers under /debug/pprof/. Both
-// Serve and servers that own their mux (the query service) use this, so
-// every process exposes the same monitoring surface.
+// then empty), GET /buildinfo identifying the binary, and the standard
+// pprof handlers under /debug/pprof/. Both Serve and servers that own
+// their mux (the query service) use this, so every process exposes the
+// same monitoring surface. Mounting also stamps the registry with the
+// volcano_build_info gauge — any scrape surface identifies its process.
 func Mount(mux *http.ServeMux, r *Registry) {
+	RegisterBuildInfo(r)
 	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/buildinfo", HandleBuildInfo)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -50,6 +50,7 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindHistogramFunc
 )
 
 // typeName returns the Prometheus TYPE keyword.
@@ -57,7 +58,7 @@ func (k familyKind) typeName() string {
 	switch k {
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
-	case kindHistogram:
+	case kindHistogram, kindHistogramFunc:
 		return "histogram"
 	default:
 		return "counter"
@@ -78,6 +79,7 @@ type family struct {
 	name, help string
 	kind       familyKind
 	fn         func() float64
+	hfn        func() HistogramSnapshot
 	children   map[string]*child
 }
 
@@ -181,6 +183,21 @@ func (r *Registry) SetGaugeFunc(name, help string, fn func() float64) {
 	defer r.mu.Unlock()
 	f := r.lookup(name, help, kindGaugeFunc)
 	f.fn = fn
+}
+
+// SetHistogramFunc registers (or replaces) a callback-valued histogram:
+// the function is invoked at scrape time and must return a snapshot with
+// non-decreasing cumulative contents. Use it for distributions another
+// subsystem already maintains — e.g. the runtime's GC pause histogram —
+// without mirroring every observation into a registry Histogram.
+func (r *Registry) SetHistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindHistogramFunc)
+	f.hfn = fn
 }
 
 // child returns the instrument slot for a label set, creating it if new.

@@ -36,6 +36,11 @@ type Analysis struct {
 	// query service); String() prints it and live snapshots join on it.
 	queryID string
 
+	// meter is the query's resource meter (BuildOptions.Meter, nil when
+	// the build carried none). String() appends a resources footer and
+	// Resources() derives CPU time into it.
+	meter *core.ResourceMeter
+
 	// hubs collects the exchange hubs instantiated for each exchange node.
 	// Guarded by mu: exchange nodes nested under another exchange are built
 	// from producer goroutines at run time.
@@ -55,16 +60,21 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 }
 
 func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, tr, nil, nil, 0)
+	return buildObserved(env, cat, n, BuildOptions{Analyze: true, Tracer: tr})
 }
 
-func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry, done <-chan struct{}, batch int) (core.Iterator, *Analysis, error) {
+// buildObserved performs the instrumented build. The env is expected to
+// already carry the meter when o.Meter is set (BuildWith derives it).
+func buildObserved(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterator, *Analysis, error) {
+	tr, mr := o.Tracer, o.Metrics
 	an := &Analysis{
-		root:  n,
-		stats: map[*Node]*core.OpStats{},
-		hists: map[*Node]*metrics.Histogram{},
-		hubs:  map[*Node][]*core.Exchange{},
-		pool:  env.Pool,
+		root:    n,
+		stats:   map[*Node]*core.OpStats{},
+		hists:   map[*Node]*metrics.Histogram{},
+		hubs:    map[*Node][]*core.Exchange{},
+		pool:    env.Pool,
+		queryID: o.QueryID,
+		meter:   env.Meter(),
 	}
 	if an.pool != nil {
 		an.base = an.pool.Stats()
@@ -91,7 +101,7 @@ func buildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *me
 		}
 	}
 	walk(n)
-	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr, done: done, batch: batch}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr, done: o.Done, batch: o.BatchSize, queryID: o.QueryID}, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -148,6 +158,59 @@ func (a *Analysis) PoolStats() buffer.Stats {
 // (BuildOptions.QueryID), or "" when the run had none.
 func (a *Analysis) QueryID() string { return a.queryID }
 
+// CPUNanos derives the query's CPU time from the operator wall-time
+// counters: each node contributes its exclusive time — total open+next+
+// close minus the totals of its demand-driven children, which are nested
+// inside the parent's calls. An exchange node is the boundary where
+// demand-driven nesting stops: its producer subtrees run on their own
+// goroutines (their totals count independently as producer-side work),
+// and its own time minus the consumer-wait counter is what the consumer
+// endpoint actually computed. Negative exclusive times (timer skew on
+// sub-microsecond operators) clamp to zero. Safe mid-flight; all inputs
+// are atomics.
+func (a *Analysis) CPUNanos() int64 {
+	var total int64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if st := a.stats[n]; st != nil {
+			own := st.OpenNanos.Load() + st.NextNanos.Load() + st.CloseNanos.Load()
+			if n.Kind == KindExchange {
+				own -= int64(a.ExchangeStats(n).ConsumerWait)
+			} else {
+				for _, in := range n.Inputs {
+					if cst := a.stats[in]; cst != nil {
+						own -= cst.OpenNanos.Load() + cst.NextNanos.Load() + cst.CloseNanos.Load()
+					}
+				}
+			}
+			if own > 0 {
+				total += own
+			}
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(a.root)
+	return total
+}
+
+// Resources publishes the derived CPU time into the query's meter and
+// returns its snapshot — the one consistent view the trailer, the live
+// registry, the slow-query log and the metric families all read. A build
+// without a meter returns the zero snapshot.
+func (a *Analysis) Resources() core.ResourceSnapshot {
+	if a.meter == nil {
+		return core.ResourceSnapshot{}
+	}
+	a.meter.SetCPUNanos(a.CPUNanos())
+	return a.meter.Snapshot()
+}
+
+// Meter returns the resource meter the build attributed to (nil when the
+// build carried none).
+func (a *Analysis) Meter() *core.ResourceMeter { return a.meter }
+
 // String renders the annotated plan tree: per-operator rows, Next calls
 // and open/next/close wall time; packet, stall and wait counters under
 // each exchange; and the buffer pool's totals as a footer. All counters
@@ -167,6 +230,17 @@ func (a *Analysis) String() string {
 		}
 		fmt.Fprintf(&sb, "buffer: fixes=%d hits=%d misses=%d reads=%d writes=%d extra-pins=%d (%s)\n",
 			st.Fixes, st.Hits, st.Misses, st.Reads, st.Writes, st.ExtraPins, balance)
+	}
+	if a.meter != nil {
+		// The attributed footer: unlike the pool delta above (process-wide,
+		// polluted by concurrent queries), these numbers are this query's
+		// own.
+		r := a.Resources()
+		fmt.Fprintf(&sb, "resources: cpu=%v buf-fixes=%d (%dh/%dm) io=%dB (r%d/w%d) x-packets=%d x-records=%d wire=%dB batch-hw=%dB\n",
+			time.Duration(r.CPUSeconds*1e9).Round(time.Microsecond),
+			r.BufferFixes, r.BufferHits, r.BufferMisses,
+			r.IOBytes(), r.DeviceReads, r.DeviceWrites,
+			r.ExchangePackets, r.ExchangeRecords, r.WireBytes, r.BatchHighWater)
 	}
 	return sb.String()
 }

@@ -197,6 +197,7 @@ type buildCtx struct {
 	tracer    *trace.Tracer   // non-nil when event tracing (BuildTraced)
 	done      <-chan struct{} // non-nil: cancellation for exchange producer groups
 	batch     int             // >0: enable the batch protocol on every operator
+	queryID   string          // stamped into exchanges for pprof labels
 }
 
 // BuildOptions selects the optional build facilities. The zero value is a
@@ -227,10 +228,18 @@ type BuildOptions struct {
 	// QueryID, when non-empty, stamps the query's identity into every
 	// observability surface this build produces: the Analysis carries it
 	// (EXPLAIN ANALYZE prints a "query <id>" header, live snapshots join
-	// on it) and a tracer, when attached, gets a "query <id>" track whose
-	// begin/end instants bracket the run — so traces, logs and metrics
-	// scraped from the same process all join on one key.
+	// on it), a tracer, when attached, gets a "query <id>" track whose
+	// begin/end instants bracket the run, and every exchange tags its
+	// producer goroutines with pprof labels (query_id, op) — so traces,
+	// logs, profiles and metrics scraped from the same process all join
+	// on one key.
 	QueryID string
+	// Meter, when non-nil, attributes the query's resource usage — every
+	// buffer fix the plan's scans and spills perform, device I/O, port
+	// and wire traffic, batch-pool memory — to one core.ResourceMeter.
+	// The build derives a metered Env and metered file handles once, so
+	// the per-event cost at run time is a single atomic add.
+	Meter *core.ResourceMeter
 }
 
 // BuildWith instantiates the plan with the given options. The *Analysis
@@ -243,14 +252,16 @@ func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterat
 		// joins with the server's slow-query log and response trailers.
 		o.Tracer.NewTrack("query "+o.QueryID).Instant("query", "begin")
 	}
-	if o.Analyze || o.Metrics.Enabled() {
-		it, an, err := buildObserved(env, cat, n, o.Tracer, o.Metrics, o.Done, o.BatchSize)
-		if an != nil {
-			an.queryID = o.QueryID
-		}
-		return it, an, err
+	if o.Meter != nil {
+		// One derived Env up front: CreateTemp (sort/hash/aggregate
+		// spills) and every scan handle built below attribute to the meter
+		// with no per-record overhead beyond the atomic adds themselves.
+		env = env.WithMeter(o.Meter)
 	}
-	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize}, n)
+	if o.Analyze || o.Metrics.Enabled() {
+		return buildObserved(env, cat, n, o)
+	}
+	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize, queryID: o.QueryID}, n)
 	return it, nil, err
 }
 
@@ -262,7 +273,7 @@ func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterat
 // Either tr or mr (or both) may be nil; with both nil it is
 // BuildAnalyzed.
 func BuildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, tr, mr, nil, 0)
+	return buildObserved(env, cat, n, BuildOptions{Analyze: true, Tracer: tr, Metrics: mr})
 }
 
 // Build instantiates the plan into an iterator tree.
@@ -327,7 +338,7 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.NewFileScan(f, nil, n.ReadAhead)
+		return core.NewFileScan(meteredFile(ctx, f), nil, n.ReadAhead)
 
 	case KindPartitionedScan:
 		name := fmt.Sprintf("%s.%d", n.Table, ctx.partition)
@@ -335,7 +346,7 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.NewFileScan(f, nil, n.ReadAhead)
+		return core.NewFileScan(meteredFile(ctx, f), nil, n.ReadAhead)
 
 	case KindIndexScan:
 		ic, ok := ctx.cat.(IndexCatalog)
@@ -357,7 +368,11 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		if n.HiKey != nil {
 			hi = btree.EncodeKey(record.Int(*n.HiKey))
 		}
-		return core.NewIndexScan(tree, f, nil, lo, hi, true, true)
+		// The fetch side of the index scan is metered through the file
+		// handle; the B-tree's own page fixes go through the tree's pool
+		// reference and stay process-global (the tree is a shared,
+		// mutex-guarded structure, not a per-query handle).
+		return core.NewIndexScan(tree, meteredFile(ctx, f), nil, lo, hi, true, true)
 
 	case KindFilter:
 		in, err := build(ctx, n.Inputs[0])
@@ -553,8 +568,10 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		Tracer:      ctx.tracer,
 		Done:        ctx.done,
 		BatchSize:   ctx.batch,
+		Meter:       ctx.env.Meter(),
+		QueryID:     ctx.queryID,
 		NewProducer: func(g int) (core.Iterator, error) {
-			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer, done: ctx.done, batch: ctx.batch}, n.Inputs[0])
+			return build(&buildCtx{env: ctx.env, cat: ctx.cat, partition: g, analysis: ctx.analysis, tracer: ctx.tracer, done: ctx.done, batch: ctx.batch, queryID: ctx.queryID}, n.Inputs[0])
 		},
 	}
 	if cfg.Consumers == 0 {
@@ -595,6 +612,15 @@ func buildExchange(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return nil, fmt.Errorf("plan: non-root exchange with %d consumers must be embedded by a parent exchange", cfg.Consumers)
 	}
 	return x.Consumer(0), nil
+}
+
+// meteredFile returns a handle on f attributing its buffer-pool activity
+// to the build's meter, or f itself when the build has none.
+func meteredFile(ctx *buildCtx, f *file.File) *file.File {
+	if m := ctx.env.Meter(); m != nil {
+		return f.WithMeter(m)
+	}
+	return f
 }
 
 func allFieldsKey(s *record.Schema) record.Key {

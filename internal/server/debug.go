@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/plan"
 )
 
@@ -25,6 +26,10 @@ type queryStatus struct {
 	Rows      int64            `json:"rows"`
 	Phases    phaseMillis      `json:"phases"`
 	Operators *plan.OpSnapshot `json:"operators,omitempty"`
+
+	// Resources is the query's resource bill so far, read mid-flight off
+	// the same meter every engine layer is attributing into.
+	Resources *core.ResourceSnapshot `json:"resources,omitempty"`
 
 	// Analyze is the mid-flight EXPLAIN ANALYZE rendering; only the
 	// one-query drill-down (/debug/queries/{id}) carries it.
@@ -47,11 +52,23 @@ func (q *queryRecord) status(drilldown bool) queryStatus {
 	if an := q.analysis.Load(); an != nil {
 		snap := an.Snapshot()
 		st.Operators = &snap
+		res := an.Resources()
+		st.Resources = &res
 		if drilldown {
 			st.Analyze = an.String()
 		}
 	}
 	return st
+}
+
+// MountDebug registers the debug endpoints (/debug/queries,
+// /debug/queries/{id}, /debug/slowlog) on an additional mux. The main
+// handler serves them already; this lets an operations listener — the
+// volcano-serve -metrics address — expose them without exposing /query.
+func (s *Server) MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/queries/", s.handleDebugQuery)
+	mux.HandleFunc("/debug/slowlog", s.handleDebugSlowlog)
 }
 
 // handleDebugQueries serves GET /debug/queries: every active query with

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync/atomic"
+
 	"repro/internal/metrics"
 )
 
@@ -44,6 +46,14 @@ type serverMetrics struct {
 	rowsOK       *metrics.Counter
 	rowsError    *metrics.Counter
 	rowsCanceled *metrics.Counter
+
+	// Accumulated per-query resource bills, settled once per query in
+	// finishQuery and exposed as counter funcs (CPU needs fractional
+	// seconds, which an integer Counter cannot carry). Plain atomics so
+	// a server without a registry still pays only three adds per query.
+	queryCPUNanos atomic.Int64
+	queryIOBytes  atomic.Int64
+	queryBufFixes atomic.Int64
 }
 
 // rowsCounter maps a query outcome to its volcano_server_query_rows_total
@@ -142,5 +152,14 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.rowsOK = rows("ok")
 	m.rowsError = rows("error")
 	m.rowsCanceled = rows("canceled")
+	r.SetCounterFunc("volcano_server_query_cpu_seconds_total",
+		"CPU time attributed to completed queries (derived from operator timings).",
+		func() float64 { return float64(m.queryCPUNanos.Load()) / 1e9 })
+	r.SetCounterFunc("volcano_server_query_io_bytes_total",
+		"Device bytes read and written on behalf of completed queries.",
+		func() float64 { return float64(m.queryIOBytes.Load()) })
+	r.SetCounterFunc("volcano_server_query_buffer_fixes_total",
+		"Buffer-pool fix calls attributed to completed queries.",
+		func() float64 { return float64(m.queryBufFixes.Load()) })
 	return m
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/plan"
 )
 
@@ -67,11 +68,26 @@ type queryRecord struct {
 	// replaced; the pointer is published atomically so /debug readers
 	// racing the builder see nil or the complete value.
 	analysis atomic.Pointer[plan.Analysis]
+
+	// meter is the query's resource accounting: every engine layer the
+	// build touches (buffer, device, exchange, batch pool, result stream)
+	// attributes into it. Embedded by value so registering a query costs
+	// one allocation, not two.
+	meter core.ResourceMeter
+}
+
+// resources returns the query's attributed resource usage. When the
+// iterator tree exists the snapshot goes through the Analysis so the
+// derived CPU time is current; before the build (rejections) the raw
+// meter — all zeros but structurally valid — answers instead.
+func (q *queryRecord) resources() core.ResourceSnapshot {
+	if an := q.analysis.Load(); an != nil {
+		return an.Resources()
+	}
+	return q.meter.Snapshot()
 }
 
 func (q *queryRecord) addRows(n int64) { q.rows.Add(n) }
-
-func (q *queryRecord) setPhase(ns *atomic.Int64, d time.Duration) { ns.Store(int64(d)) }
 
 // phases returns the phase breakdown in milliseconds, as served to
 // clients. The phase currently in progress reads zero — /debug consumers

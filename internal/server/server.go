@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -298,7 +299,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	admitted := time.Now()
 	defer func() { s.m.querySecs.Observe(time.Since(admitted)) }()
 
-	s.execute(w, qctx, rec, tpl, batch, analyze)
+	// Execution runs under pprof labels: every profile sample taken on
+	// this goroutine — and on any goroutine the exchange forks from it —
+	// carries the query identity, so a CPU or goroutine profile slices
+	// per query. Exchange producer goroutines drawn from pre-spawned
+	// worker pools re-label themselves (core.Exchange does that from
+	// BuildOptions.QueryID).
+	pprof.Do(qctx, pprof.Labels("query_id", rec.id, "op", "query-handler"), func(ctx context.Context) {
+		s.execute(w, ctx, rec, tpl, batch, analyze)
+	})
 }
 
 // batchSize resolves the effective batch size for one request: the
@@ -387,6 +396,7 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 		Done:      ctx.Done(),
 		BatchSize: batch,
 		QueryID:   rec.id,
+		Meter:     &rec.meter,
 	})
 	if err != nil {
 		s.m.rejPlan.Inc()
@@ -432,17 +442,19 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 	var streamErr error
 	emit := func(r core.Rec) error {
 		vals, err := sch.Decode(r.Data)
-		if err == nil {
-			_, err = w.Write(rw.row(vals))
-		}
 		if err != nil {
 			return err
 		}
+		line := rw.row(vals)
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
 		rows++
-		// The registry's only per-record cost: one atomic add, zero
-		// allocations (TestRegistryHotPathZeroAlloc), publishing live
-		// client-side progress to /debug/queries.
+		// The per-record bookkeeping budget: one atomic add for the live
+		// registry and two for the resource meter, zero allocations
+		// (TestRegistryHotPathZeroAlloc, TestMeterHotPathZeroAlloc).
 		rec.addRows(1)
+		rec.meter.StreamRow(len(line))
 		if flusher != nil && rows%int64(s.cfg.FlushEvery) == 0 {
 			bumpDeadline()
 			flusher.Flush()
@@ -518,6 +530,11 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 	ph := rec.phases()
 	t.Phases = &ph
 	t.ElapsedMs = float64(time.Since(rec.started)) / 1e6
+	// The attributed resource bill rides every trailer — success, error
+	// or cancellation — from the same snapshot the slow-query log and the
+	// volcano_server_query_* totals read.
+	res := an.Resources()
+	t.Resources = &res
 	if analyze {
 		t.Analyze = an.String()
 	}
@@ -535,6 +552,13 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 // slow-query log entry carrying the final per-operator snapshot.
 func (s *Server) finishQuery(rec *queryRecord, outcome, errText string) {
 	s.m.rowsCounter(outcome).Add(rec.rows.Load())
+	// Settle the query's resource bill into the process-wide totals; the
+	// snapshot is final here (the iterator tree is closed), so per-query
+	// meters sum exactly to these counters.
+	res := rec.resources()
+	s.m.queryCPUNanos.Add(int64(res.CPUSeconds * 1e9))
+	s.m.queryIOBytes.Add(res.IOBytes())
+	s.m.queryBufFixes.Add(res.BufferFixes)
 	if s.cfg.SlowQuery < 0 {
 		return
 	}
@@ -561,6 +585,7 @@ func (s *Server) finishQuery(rec *queryRecord, outcome, errText string) {
 		ElapsedMs: float64(elapsed) / 1e6,
 		Phases:    rec.phases(),
 		Operators: ops,
+		Resources: &res,
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/plan"
 )
 
@@ -28,6 +29,9 @@ type slowLogEntry struct {
 	ElapsedMs float64          `json:"elapsed_ms"`
 	Phases    phaseMillis      `json:"phases"`
 	Operators *plan.OpSnapshot `json:"operators,omitempty"`
+	// Resources is the final attributed resource bill, identical to the
+	// trailer's resources block for the same query.
+	Resources *core.ResourceSnapshot `json:"resources,omitempty"`
 }
 
 // slowLog is the structured slow-query log: a bounded in-memory ring of
@@ -77,6 +81,7 @@ func (l *slowLog) record(e slowLogEntry) {
 			slog.Float64("elapsed_ms", e.ElapsedMs),
 			slog.Any("phases", e.Phases),
 			slog.Any("operators", e.Operators),
+			slog.Any("resources", e.Resources),
 		)
 	}
 }

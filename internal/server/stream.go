@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/record"
 )
 
@@ -98,6 +99,10 @@ type trailer struct {
 	QueryID   string       `json:"query_id,omitempty"`
 	ElapsedMs float64      `json:"elapsed_ms,omitempty"`
 	Phases    *phaseMillis `json:"phases,omitempty"`
+	// Resources is the query's attributed resource bill: the same
+	// snapshot the slow-query log and /debug/queries serve. Rejections
+	// (which never built an iterator tree) omit it.
+	Resources *core.ResourceSnapshot `json:"resources,omitempty"`
 	// Analyze carries the EXPLAIN ANALYZE report of this run when the
 	// request asked for it with X-Volcano-Analyze: 1.
 	Analyze string `json:"analyze,omitempty"`

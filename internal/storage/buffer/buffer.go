@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/meter"
 	"repro/internal/record"
 	"repro/internal/storage/device"
 	"repro/internal/trace"
@@ -224,13 +225,25 @@ func (p *Pool) restart() {
 // Fix pins the page in the buffer, reading it from its device on a miss,
 // and returns its frame. Every successful Fix must be balanced by Unfix.
 func (p *Pool) Fix(pid record.PageID) (*Frame, error) {
-	return p.fix(pid, false)
+	return p.fix(pid, false, nil)
+}
+
+// FixFor is Fix with per-query attribution: the fix (hit or miss) and any
+// device I/O it triggers are also added to m. A nil meter makes it
+// exactly Fix.
+func (p *Pool) FixFor(pid record.PageID, m *meter.Meter) (*Frame, error) {
+	return p.fix(pid, false, m)
 }
 
 // FixNew allocates a fresh page on the given device, pins it with zeroed
 // contents, and returns the frame and new page identity. The page is
 // marked dirty so it reaches the device even if never written again.
 func (p *Pool) FixNew(dev record.DeviceID) (*Frame, record.PageID, error) {
+	return p.FixNewFor(dev, nil)
+}
+
+// FixNewFor is FixNew with per-query attribution (nil meter = FixNew).
+func (p *Pool) FixNewFor(dev record.DeviceID, m *meter.Meter) (*Frame, record.PageID, error) {
 	d, err := p.reg.Get(dev)
 	if err != nil {
 		return nil, record.NilPage, err
@@ -240,7 +253,7 @@ func (p *Pool) FixNew(dev record.DeviceID) (*Frame, record.PageID, error) {
 		return nil, record.NilPage, err
 	}
 	pid := record.PageID{Dev: dev, Page: page}
-	f, err := p.fix(pid, true)
+	f, err := p.fix(pid, true, m)
 	if err != nil {
 		_ = d.FreePage(page)
 		return nil, record.NilPage, err
@@ -248,13 +261,13 @@ func (p *Pool) FixNew(dev record.DeviceID) (*Frame, record.PageID, error) {
 	return f, pid, nil
 }
 
-func (p *Pool) fix(pid record.PageID, fresh bool) (*Frame, error) {
+func (p *Pool) fix(pid record.PageID, fresh bool, m *meter.Meter) (*Frame, error) {
 	if pid.IsNil() {
 		return nil, fmt.Errorf("buffer: fix of nil page")
 	}
 	spins := 0
 	for {
-		f, err := p.fixOnce(pid, fresh)
+		f, err := p.fixOnce(pid, fresh, m)
 		if err == nil {
 			return f, nil
 		}
@@ -277,7 +290,7 @@ func (p *Pool) fix(pid record.PageID, fresh bool) (*Frame, error) {
 // restarted from the hash-table lookup.
 var errRetry = errors.New("buffer: retry")
 
-func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
+func (p *Pool) fixOnce(pid record.PageID, fresh bool, m *meter.Meter) (*Frame, error) {
 	p.mu.Lock()
 	if f, ok := p.table[pid]; ok {
 		// Found in the buffer: atomic test-and-lock on the descriptor; on
@@ -301,6 +314,7 @@ func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
 		p.hits.Add(1)
 		p.unlockFrame(f)
 		p.mu.Unlock()
+		m.FixHit()
 		return f, nil
 	}
 
@@ -327,13 +341,14 @@ func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
 	p.table[pid] = victim
 	p.fixes.Add(1)
 	p.misses.Add(1)
+	m.FixMiss()
 	if p.mode != Global {
 		// Release the pool lock before I/O; the descriptor lock protects
 		// the frame during the transfer.
 		p.mu.Unlock()
 	}
 
-	err := p.replace(victim, oldPid, oldDirty && oldValid, fresh)
+	err := p.replace(victim, oldPid, oldDirty && oldValid, fresh, m)
 
 	if p.mode != Global {
 		p.mu.Lock()
@@ -358,8 +373,11 @@ func (p *Pool) fixOnce(pid record.PageID, fresh bool) (*Frame, error) {
 }
 
 // replace performs the write-back of the old page and the read of the new
-// one while the caller holds the descriptor lock.
-func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) error {
+// one while the caller holds the descriptor lock. Device I/O is attributed
+// to the meter of the fix that triggered the replacement — including a
+// write-back of a page another query dirtied, since the cost lands on this
+// query's critical path.
+func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool, m *meter.Meter) error {
 	if writeBack {
 		d, err := p.reg.Get(oldPid.Dev)
 		if err != nil {
@@ -369,6 +387,7 @@ func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) er
 			return fmt.Errorf("buffer: write-back %s: %w", oldPid, err)
 		}
 		p.writes.Add(1)
+		m.DeviceWrite(device.PageSize)
 	}
 	if fresh {
 		for i := range f.data {
@@ -384,6 +403,7 @@ func (p *Pool) replace(f *Frame, oldPid record.PageID, writeBack, fresh bool) er
 		return fmt.Errorf("buffer: read %s: %w", f.pid, err)
 	}
 	p.reads.Add(1)
+	m.DeviceRead(device.PageSize)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/meter"
 	"repro/internal/record"
 	"repro/internal/storage/buffer"
 )
@@ -57,6 +58,13 @@ func (v *Volume) Device() record.DeviceID { return v.dev }
 // Create creates a file with one empty page. The schema is recorded in the
 // VTOC for catalog purposes and may be nil.
 func (v *Volume) Create(name string, schema *record.Schema) (*File, error) {
+	return v.CreateWith(name, schema, nil)
+}
+
+// CreateWith is Create with per-query attribution: the initial page fix
+// and every later pool interaction through the returned handle are
+// accounted to m. A nil meter makes it exactly Create.
+func (v *Volume) CreateWith(name string, schema *record.Schema, mtr *meter.Meter) (*File, error) {
 	v.vtoc.Lock()
 	if _, dup := v.files[name]; dup {
 		v.vtoc.Unlock()
@@ -68,7 +76,7 @@ func (v *Volume) Create(name string, schema *record.Schema) (*File, error) {
 	v.files[name] = m
 	v.vtoc.Unlock()
 
-	f, pgID, err := v.pool.FixNew(v.dev)
+	f, pgID, err := v.pool.FixNewFor(v.dev, mtr)
 	if err != nil {
 		v.vtoc.Lock()
 		delete(v.files, name)
@@ -81,7 +89,7 @@ func (v *Volume) Create(name string, schema *record.Schema) (*File, error) {
 	v.vtoc.Lock()
 	m.firstPage, m.lastPage, m.pages = pgID.Page, pgID.Page, 1
 	v.vtoc.Unlock()
-	return &File{vol: v, meta: m}, nil
+	return &File{vol: v, meta: m, meter: mtr}, nil
 }
 
 // Open looks up an existing file in the VTOC.
@@ -147,10 +155,23 @@ type File struct {
 	vol  *Volume
 	meta *meta
 
+	// meter, when set, receives per-query attribution for every buffer
+	// fix this handle performs (scans, fetches, inserts, spills). Handles
+	// are per-caller — Open returns a fresh one each time — so attaching
+	// a meter to one handle never affects another query's view of the
+	// same file.
+	meter *meter.Meter
+
 	// appendMu serialises inserts; Volcano files have a single writer in
 	// practice (no record-level concurrency control, §4.5), but partitioned
 	// inserts from a data generator are convenient to allow.
 	appendMu sync.Mutex
+}
+
+// WithMeter returns a new handle on the same file whose buffer-pool
+// activity is attributed to m. The original handle is unchanged.
+func (f *File) WithMeter(m *meter.Meter) *File {
+	return &File{vol: f.vol, meta: f.meta, meter: m}
 }
 
 // Name returns the file's VTOC name.
@@ -211,14 +232,14 @@ func (f *File) InsertPinned(data []byte) (Record, error) {
 	last := f.meta.lastPage
 	f.vol.vtoc.Unlock()
 
-	fr, err := f.vol.pool.Fix(pid(f.vol.dev, last))
+	fr, err := f.vol.pool.FixFor(pid(f.vol.dev, last), f.meter)
 	if err != nil {
 		return Record{}, err
 	}
 	pg := page{fr.Data()}
 	if pg.freeSpace() < len(data) {
 		// Allocate and link a fresh page.
-		nfr, npid, err := f.vol.pool.FixNew(f.vol.dev)
+		nfr, npid, err := f.vol.pool.FixNewFor(f.vol.dev, f.meter)
 		if err != nil {
 			f.vol.pool.Unfix(fr, false)
 			return Record{}, err
@@ -278,7 +299,7 @@ func (f *File) InsertPinnedBatch(datas [][]byte, out []Record) error {
 	last := f.meta.lastPage
 	f.vol.vtoc.Unlock()
 
-	fr, err := f.vol.pool.Fix(pid(f.vol.dev, last))
+	fr, err := f.vol.pool.FixFor(pid(f.vol.dev, last), f.meter)
 	if err != nil {
 		return err
 	}
@@ -299,7 +320,7 @@ func (f *File) InsertPinnedBatch(datas [][]byte, out []Record) error {
 	inserted := 0
 	for i, data := range datas {
 		if pg.freeSpace() < len(data) {
-			nfr, npid, err := f.vol.pool.FixNew(f.vol.dev)
+			nfr, npid, err := f.vol.pool.FixNewFor(f.vol.dev, f.meter)
 			if err != nil {
 				return fail(i, err)
 			}
@@ -353,7 +374,7 @@ func (f *File) Fetch(rid record.RID) (Record, error) {
 	if rid.Dev != f.vol.dev {
 		return Record{}, fmt.Errorf("file: RID %s is not on device %d", rid, f.vol.dev)
 	}
-	fr, err := f.vol.pool.Fix(rid.PageID)
+	fr, err := f.vol.pool.FixFor(rid.PageID, f.meter)
 	if err != nil {
 		return Record{}, err
 	}
@@ -368,7 +389,7 @@ func (f *File) Fetch(rid record.RID) (Record, error) {
 // DeleteRecord removes the record at rid. Its slot is tombstoned; RIDs of
 // other records are unaffected.
 func (f *File) DeleteRecord(rid record.RID) error {
-	fr, err := f.vol.pool.Fix(rid.PageID)
+	fr, err := f.vol.pool.FixFor(rid.PageID, f.meter)
 	if err != nil {
 		return err
 	}

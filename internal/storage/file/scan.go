@@ -42,7 +42,7 @@ func (s *Scan) Next() (Record, bool, error) {
 				s.done = true
 				return Record{}, false, nil
 			}
-			fr, err := s.f.vol.pool.Fix(s.cur)
+			fr, err := s.f.vol.pool.FixFor(s.cur, s.f.meter)
 			if err != nil {
 				s.done = true
 				return Record{}, false, fmt.Errorf("file: scan %q: %w", s.f.Name(), err)
