@@ -36,10 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/server"
@@ -78,6 +80,16 @@ type options struct {
 	// as slog JSON lines (the in-memory ring on /debug/slowlog is always
 	// available regardless).
 	queryLog string
+	// workers is a comma-separated list of volcano-worker dispatch
+	// addresses to register at startup; non-empty (or distEnable)
+	// switches distributed execution on.
+	workers string
+	// distEnable turns the coordinator on with an empty fleet, so
+	// workers can join dynamically via POST /dist/register.
+	distEnable bool
+	// distDataAddr is the coordinator's data-plane listen address
+	// (empty = 127.0.0.1:0). Workers dial it to deliver fragment streams.
+	distDataAddr string
 
 	// Connection hygiene: zero values get production defaults in run()
 	// so the test seam is hardened the same way the flags are.
@@ -112,6 +124,9 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 0, "default batch size for query execution, overridable per request with X-Volcano-Batch (0 = record-at-a-time)")
 	flag.DurationVar(&o.slowQuery, "slow-query", time.Second, "slow-query log threshold; errored/canceled queries are always logged (0 = only those, negative = no log)")
 	flag.StringVar(&o.queryLog, "query-log", "", "append slow-query entries to this file as JSON lines (empty = in-memory ring only)")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated volcano-worker addresses to register for distributed execution (enables the coordinator)")
+	flag.BoolVar(&o.distEnable, "dist", false, "enable the distributed-execution coordinator even with no static workers (they join via POST /dist/register)")
+	flag.StringVar(&o.distDataAddr, "dist-data-addr", "", "coordinator data-plane listen address workers stream fragments to (empty = 127.0.0.1:0)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "longest to wait for in-flight queries on shutdown")
 	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "longest a client may take to send request headers")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "longest a client may take to send a whole request")
@@ -187,10 +202,35 @@ func run(o options) error {
 		slowSink = f
 	}
 
+	// Distributed execution: one coordinator owns the worker registry and
+	// the data plane; producer fragments ship to the fleet while root
+	// fragments run in this process.
+	var coord *dist.Coordinator
+	if o.distEnable || o.workers != "" {
+		coord, err = dist.NewCoordinator(dist.CoordinatorConfig{
+			DataAddr: o.distDataAddr,
+			Metrics:  mr,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		for _, a := range strings.Split(o.workers, ",") {
+			if a = strings.TrimSpace(a); a == "" {
+				continue
+			}
+			if err := coord.Register(a); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "volcano-serve: distributed execution on: data plane %s, %d workers registered\n",
+			coord.DataAddr(), coord.LiveWorkers())
+	}
+
 	srv, err := server.New(server.Config{
 		Env:               env,
 		Catalog:           plan.VolumeCatalog{base},
-		CatalogVersion:    catalogVersion(o.db, base),
+		CatalogVersion:    dist.CatalogVersion(o.db, base),
 		MaxConcurrent:     o.maxConcurrent,
 		MaxProducers:      o.maxProducers,
 		MaxQueue:          o.maxQueue,
@@ -202,6 +242,7 @@ func run(o options) error {
 		SlowQuery:         o.slowQuery,
 		SlowLogSink:       slowSink,
 		Metrics:           mr,
+		Dist:              coord,
 	})
 	if err != nil {
 		return err
@@ -281,16 +322,4 @@ func run(o options) error {
 	}
 	fmt.Fprintln(os.Stderr, "volcano-serve: drained")
 	return nil
-}
-
-// catalogVersion derives the plan-cache epoch for a served database. The
-// volume is read-only while serving, so file identity (path), mtime and
-// table population pin its contents well enough: reloading the database
-// produces a new version and invalidates every cached plan.
-func catalogVersion(path string, base *file.Volume) string {
-	mtime := int64(0)
-	if st, err := os.Stat(path); err == nil {
-		mtime = st.ModTime().UnixNano()
-	}
-	return fmt.Sprintf("%s|%d|%d|%d", path, mtime, len(base.List()), len(base.Indexes()))
 }

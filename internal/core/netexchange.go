@@ -64,8 +64,18 @@ type NetExchangeConfig struct {
 	NewPartition func(g int) expr.Partitioner
 	Broadcast    bool
 	PacketSize   int
-	// Latency and Bandwidth simulate the interconnect: each packet sleeps
-	// Latency plus size/Bandwidth. Zero disables simulation.
+	// Transport, when non-nil, carries the packets over a real byte
+	// stream — frames on net.Conns (see WireTransport, TCPLoopback) —
+	// instead of the in-process loopback channels. Producers dial one
+	// connection per consumer endpoint and the hub accepts one
+	// connection per producer on each consumer's side; TCP's send window
+	// replaces the loopback's bounded channel as flow control. The
+	// iterator protocol is identical on both paths.
+	Transport WireTransport
+	// Latency and Bandwidth simulate the interconnect on the loopback
+	// path: each packet sleeps Latency plus size/Bandwidth. Zero
+	// disables simulation. Ignored when Transport is set — a real wire
+	// brings its own latency.
 	Latency   time.Duration
 	Bandwidth int64 // bytes per second
 	// BatchSize switches producers to the batch-at-a-time protocol: each
@@ -255,21 +265,30 @@ func (n *NetExchange) NetStats() NetExchangeStats {
 	}
 }
 
+// netErrBox keeps every stored error the same concrete type:
+// atomic.Value.CompareAndSwap panics when racing stores carry different
+// dynamic types, and errors from the transport path and the operator
+// path rarely share one.
+type netErrBox struct{ err error }
+
 func (n *NetExchange) setErr(err error) {
 	if err != nil {
-		n.err.CompareAndSwap(nil, err)
+		n.err.CompareAndSwap(nil, netErrBox{err})
 	}
 }
 
 func (n *NetExchange) firstErr() error {
-	if e, ok := n.err.Load().(error); ok {
-		return e
+	if b, ok := n.err.Load().(netErrBox); ok {
+		return b.err
 	}
 	return nil
 }
 
 func (n *NetExchange) ensureStarted() {
 	n.start.Do(func() {
+		if n.cfg.Transport != nil {
+			n.startReceivers()
+		}
 		n.done.Add(n.cfg.Producers)
 		for g := 0; g < n.cfg.Producers; g++ {
 			go n.producerLoop(g)
@@ -311,6 +330,13 @@ func (n *NetExchange) producerLoop(g int) {
 			part = expr.RoundRobin(n.cfg.Consumers)
 		}
 	}
+	// Transport path: packets are framed onto per-consumer connections
+	// and recycled immediately — the wire owns the bytes once written.
+	var wo *wireOut
+	if n.cfg.Transport != nil {
+		wo = newWireOut(n)
+		defer wo.close()
+	}
 	// Once a packet is handed to the queue channel it must not be read
 	// again: the consumer may drain and recycle it, and another producer
 	// may already be refilling it — so everything send needs (size, eos,
@@ -318,6 +344,19 @@ func (n *NetExchange) producerLoop(g int) {
 	send := func(c int, eos bool) {
 		p := out[c]
 		out[c] = nil
+		if wo != nil {
+			errMsg := ""
+			if eos {
+				if e := n.firstErr(); e != nil {
+					errMsg = e.Error()
+				}
+			}
+			if _, err := wo.sendPacket(c, p, eos, errMsg); err != nil {
+				n.setErr(err)
+			}
+			n.pool.put(p)
+			return
+		}
 		if p == nil {
 			if !eos {
 				return
@@ -410,6 +449,10 @@ func (n *NetExchange) producerLoop(g int) {
 			// Every pin was released by route; Reset drops the stale
 			// references (and returns any lent packet) without unfixing.
 			b.Reset()
+			if wo != nil && wo.err != nil {
+				// The wire is gone; pulling more records serves nobody.
+				break
+			}
 		}
 	} else {
 		for {
@@ -422,6 +465,9 @@ func (n *NetExchange) producerLoop(g int) {
 				break
 			}
 			route(r)
+			if wo != nil && wo.err != nil {
+				break
+			}
 		}
 	}
 	for c := range out {
@@ -439,6 +485,24 @@ func (n *NetExchange) producerLoop(g int) {
 }
 
 func (n *NetExchange) broadcastEOS(tk *trace.Track) {
+	if n.cfg.Transport != nil {
+		// The producer failed before streaming anything: still open its
+		// connections so each consumer's accept loop sees the expected
+		// conn count, and terminate each with an error-EOS frame.
+		wo := newWireOut(n)
+		defer wo.close()
+		msg := "producer failed before start"
+		if e := n.firstErr(); e != nil {
+			msg = e.Error()
+		}
+		for c := range n.queues {
+			tk.Instant1("exchange", "eos", "consumer", int64(c))
+			if _, err := wo.sendPacket(c, nil, true, msg); err != nil {
+				n.setErr(err)
+			}
+		}
+		return
+	}
 	for c, q := range n.queues {
 		n.packets.Add(1)
 		xmNetPackets.Add(1)
@@ -544,6 +608,12 @@ func (c *netConsumer) NextBatch(b *Batch) error {
 				r, err := c.w.WriteBytes(data)
 				if err != nil {
 					c.x.pool.put(p)
+					// The local write failure wins, but the packet's own
+					// error must not vanish with it: park it in the hub so
+					// Close still reports the producer-side failure.
+					if c.pendErr != nil {
+						c.x.setErr(c.pendErr)
+					}
 					c.pendErr = nil
 					b.Release()
 					return err
@@ -658,6 +728,12 @@ func (c *netConsumer) Close() error {
 		p := <-q.ch
 		if p.eos {
 			q.eos++
+		}
+		if p.err != nil {
+			// A drained error packet is still an error: an early Close
+			// (LIMIT, cancellation, a sibling's failure) must not fold a
+			// transport failure into end-of-stream silence.
+			c.x.setErr(p.err)
 		}
 		c.x.pool.put(p)
 	}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// WireTransport connects the two halves of a NetExchange through a real
+// byte stream instead of the in-process loopback. The producer side
+// dials one connection per consumer endpoint; the consumer side accepts
+// one connection per producer. Frames on the connections use the wire
+// format of this package (see wire.go). TCP's own flow control replaces
+// the loopback's bounded channel as the transmit window.
+type WireTransport interface {
+	// Dial connects the calling producer to consumer endpoint c.
+	Dial(c int) (net.Conn, error)
+	// Accept returns the next inbound producer connection for consumer
+	// endpoint c. It is called exactly Producers times per consumer.
+	Accept(c int) (net.Conn, error)
+}
+
+// TCPLoopback is a WireTransport over real TCP sockets on the loopback
+// interface: one listener per consumer endpoint. It is the transport the
+// wire-path benchmarks and tests use — same kernel socket machinery as a
+// cross-machine deployment, zero network distance.
+type TCPLoopback struct {
+	lns []net.Listener
+}
+
+// NewTCPLoopback binds one loopback listener per consumer endpoint.
+func NewTCPLoopback(consumers int) (*TCPLoopback, error) {
+	t := &TCPLoopback{}
+	for c := 0; c < consumers; c++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.lns = append(t.lns, ln)
+	}
+	return t, nil
+}
+
+// Dial implements WireTransport.
+func (t *TCPLoopback) Dial(c int) (net.Conn, error) {
+	return net.Dial("tcp", t.lns[c].Addr().String())
+}
+
+// Accept implements WireTransport.
+func (t *TCPLoopback) Accept(c int) (net.Conn, error) {
+	return t.lns[c].Accept()
+}
+
+// Addr returns consumer endpoint c's listen address.
+func (t *TCPLoopback) Addr(c int) string { return t.lns[c].Addr().String() }
+
+// Close closes every listener.
+func (t *TCPLoopback) Close() error {
+	var first error
+	for _, ln := range t.lns {
+		if ln != nil {
+			if err := ln.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return nil
+}
+
+// wireOut is one producer's sending half over a transport: lazily dialed
+// per-consumer connections with buffered frame writers. Owned by a
+// single producer goroutine.
+type wireOut struct {
+	x       *NetExchange
+	conns   []net.Conn
+	writers []*bufio.Writer
+	scratch []byte
+	err     error // first transport failure; sticky
+}
+
+func newWireOut(x *NetExchange) *wireOut {
+	return &wireOut{
+		x:       x,
+		conns:   make([]net.Conn, x.cfg.Consumers),
+		writers: make([]*bufio.Writer, x.cfg.Consumers),
+	}
+}
+
+func (o *wireOut) writer(c int) (*bufio.Writer, error) {
+	if o.writers[c] == nil {
+		conn, err := o.x.cfg.Transport.Dial(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: netexchange: dial consumer %d: %w", c, err)
+		}
+		o.conns[c] = conn
+		o.writers[c] = bufio.NewWriterSize(conn, 64<<10)
+	}
+	return o.writers[c], nil
+}
+
+// sendPacket frames p's records (p may be nil for a bare EOS) and writes
+// them to consumer c, returning the payload size. Transport failures are
+// sticky: after the first one every send is a no-op, so a producer whose
+// peer vanished drains its subtree cheaply instead of erroring per record.
+func (o *wireOut) sendPacket(c int, p *netPacket, eos bool, errMsg string) (int, error) {
+	if o.err != nil {
+		return 0, o.err
+	}
+	w, err := o.writer(c)
+	if err != nil {
+		o.err = err
+		return 0, err
+	}
+	var recs [][]byte
+	if p != nil {
+		recs = p.recs
+	}
+	if eos && errMsg != "" {
+		if len(recs) > 0 {
+			o.scratch = AppendWireFrame(o.scratch[:0], recs, 0)
+			if _, err := w.Write(o.scratch); err != nil {
+				o.err = err
+				return 0, err
+			}
+		}
+		o.scratch = AppendWireControl(o.scratch[:0], WireFlagEOS|WireFlagErr, []byte(errMsg))
+	} else {
+		flags := byte(0)
+		if eos {
+			flags = WireFlagEOS
+		}
+		o.scratch = AppendWireFrame(o.scratch[:0], recs, flags)
+	}
+	if _, err := w.Write(o.scratch); err != nil {
+		o.err = err
+		return 0, err
+	}
+	// Flush per packet: the consumer pipeline must never wait on a
+	// half-filled write buffer. A blocked flush is the wire's flow
+	// control — TCP's send window — so its duration is the transport
+	// path's send-stall.
+	start := time.Now()
+	if err := w.Flush(); err != nil {
+		o.err = err
+		return 0, err
+	}
+	o.x.sendStall.Add(int64(time.Since(start)))
+	size := 0
+	for _, r := range recs {
+		size += len(r)
+	}
+	return size, nil
+}
+
+// close closes every dialed connection (after a final flush).
+func (o *wireOut) close() {
+	for i, w := range o.writers {
+		if w != nil {
+			_ = w.Flush()
+		}
+		if o.conns[i] != nil {
+			_ = o.conns[i].Close()
+		}
+	}
+}
+
+// startReceivers launches the consumer half over the transport: per
+// consumer endpoint, an accept loop that takes exactly Producers
+// connections and spawns one reader per connection. Readers decode
+// frames straight into pooled wire packets and feed the same bounded
+// queues the loopback path uses, so the consumer iterator is oblivious
+// to which wire its packets crossed.
+func (n *NetExchange) startReceivers() {
+	for c := 0; c < n.cfg.Consumers; c++ {
+		go n.acceptLoop(c)
+	}
+}
+
+func (n *NetExchange) acceptLoop(c int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n.cfg.Producers; i++ {
+		conn, err := n.cfg.Transport.Accept(c)
+		if err != nil {
+			// A dead listener means the producers this consumer still
+			// expects can never arrive: surface the failure as an
+			// error-EOS per missing producer so the stream terminates
+			// with an error, not a short result.
+			err = fmt.Errorf("core: netexchange: accept for consumer %d: %w", c, err)
+			n.setErr(err)
+			for ; i < n.cfg.Producers; i++ {
+				n.pushSynthetic(c, err)
+			}
+			break
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			n.readLoop(c, conn)
+		}(conn)
+	}
+	wg.Wait()
+}
+
+// pushSynthetic delivers a locally-made error-EOS packet to consumer c.
+func (n *NetExchange) pushSynthetic(c int, err error) {
+	p := n.pool.get()
+	p.eos = true
+	p.err = err
+	n.queues[c].ch <- p
+}
+
+// readLoop decodes frames from one producer connection into consumer
+// c's queue until EOS or transport failure. A connection that dies
+// before its EOS frame is an error — the stream is incomplete — and is
+// propagated into the hub's firstErr, never folded into end-of-stream.
+func (n *NetExchange) readLoop(c int, conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		p := n.pool.get()
+		flags, err := readWireInto(br, &p.buf, &p.recs, 0)
+		if err != nil {
+			n.pool.put(p)
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("core: netexchange: producer connection dropped before EOS: %w", err)
+			} else {
+				err = fmt.Errorf("core: netexchange: wire read: %w", err)
+			}
+			n.setErr(err)
+			n.pushSynthetic(c, err)
+			return
+		}
+		eos := flags&WireFlagEOS != 0
+		p.eos = eos
+		if flags&WireFlagErr != 0 {
+			p.err = fmt.Errorf("core: netexchange: remote producer: %s", p.buf)
+			p.recs = p.recs[:0]
+			n.setErr(p.err)
+		}
+		size := 0
+		for _, r := range p.recs {
+			size += len(r)
+		}
+		n.packets.Add(1)
+		n.bytes.Add(int64(size))
+		xmNetPackets.Add(1)
+		xmNetBytes.Add(int64(size))
+		n.cfg.Meter.WireRecv(size)
+		n.queues[c].ch <- p
+		if eos {
+			return
+		}
+	}
+}

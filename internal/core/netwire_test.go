@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// TestNetExchangeOverTCP runs the shared-nothing exchange over real TCP
+// loopback sockets: two producers, two partitioned consumers, every
+// record crossing a kernel socket. The result must be indistinguishable
+// from the in-process loopback path.
+func TestNetExchangeOverTCP(t *testing.T) {
+	src := newTestEnv(t, 256)
+	m1 := newTestEnv(t, 256)
+	m2 := newTestEnv(t, 256)
+	f := src.makeInts(t, "t", shuffled(2000, 21)...)
+
+	tl, err := NewTCPLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	envs := []*Env{m1.Env, m2.Env}
+	x, err := NewNetExchange(NetExchangeConfig{
+		Schema:    intSchema,
+		Producers: 2,
+		Consumers: 2,
+		Transport: tl,
+		NewProducer: func(g int) (Iterator, error) {
+			sc, err := NewFileScan(f, nil, false)
+			if err != nil {
+				return nil, err
+			}
+			preds := []string{"v % 2 = 0", "v % 2 = 1"}
+			return NewFilterExpr(sc, preds[g], 0)
+		},
+		ConsumerEnv: func(c int) *Env { return envs[c] },
+		NewPartition: func(int) expr.Partitioner {
+			return expr.HashPartition(intSchema, record.Key{0}, 2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, 2)
+	errs := make([]error, 2)
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			counts[c], errs[c] = Drain(x.Consumer(c))
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("consumer %d: %v", c, err)
+		}
+	}
+	if counts[0]+counts[1] != 2000 {
+		t.Fatalf("lost records over the wire: %d + %d", counts[0], counts[1])
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatal("partitioning sent everything to one consumer")
+	}
+	packets, bytes := x.Stats()
+	if packets == 0 || bytes == 0 {
+		t.Fatal("no wire traffic recorded")
+	}
+	src.checkNoPinLeak(t)
+	m1.checkNoPinLeak(t)
+	m2.checkNoPinLeak(t)
+}
+
+// TestNetExchangeOverTCPOrdered pins byte-level fidelity: the records
+// that cross the socket arrive intact and complete for a single
+// producer/consumer pair, in order.
+func TestNetExchangeOverTCPOrdered(t *testing.T) {
+	src := newTestEnv(t, 256)
+	dst := newTestEnv(t, 256)
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	f := src.makeInts(t, "t", vals...)
+
+	tl, err := NewTCPLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	x, err := NewNetExchange(NetExchangeConfig{
+		Schema:     intSchema,
+		Producers:  1,
+		Consumers:  1,
+		PacketSize: 7, // force many small frames
+		Transport:  tl,
+		NewProducer: func(int) (Iterator, error) {
+			return NewFileScan(f, nil, false)
+		},
+		ConsumerEnv: func(int) *Env { return dst.Env },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(x.Consumer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+	src.checkNoPinLeak(t)
+	dst.checkNoPinLeak(t)
+}
+
+// TestNetExchangeOverTCPErrorPropagation: a producer failure must cross
+// the wire as an error frame and surface on the consumer, same as on the
+// loopback path.
+func TestNetExchangeOverTCPErrorPropagation(t *testing.T) {
+	src := newTestEnv(t, 256)
+	dst := newTestEnv(t, 256)
+	f := src.makeInts(t, "t", 1, 0, 2)
+
+	tl, err := NewTCPLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	x, err := NewNetExchange(NetExchangeConfig{
+		Schema:    intSchema,
+		Producers: 1,
+		Consumers: 1,
+		Transport: tl,
+		NewProducer: func(int) (Iterator, error) {
+			sc, err := NewFileScan(f, nil, false)
+			if err != nil {
+				return nil, err
+			}
+			return NewFilterExpr(sc, "10 / v > 0", 0)
+		},
+		ConsumerEnv: func(int) *Env { return dst.Env },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Collect(x.Consumer(0))
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("error not propagated across the wire: %v", err)
+	}
+}
+
+// dyingConn kills its connection after a byte budget: writes past the
+// budget close the socket and fail, modelling a producer whose machine
+// drops off the network mid-stream.
+type dyingConn struct {
+	net.Conn
+	budget int
+}
+
+func (d *dyingConn) Write(p []byte) (int, error) {
+	if d.budget <= 0 {
+		d.Conn.Close()
+		return 0, errors.New("wire cut")
+	}
+	if len(p) > d.budget {
+		n, _ := d.Conn.Write(p[:d.budget])
+		d.budget = 0
+		d.Conn.Close()
+		return n, errors.New("wire cut")
+	}
+	d.budget -= len(p)
+	return d.Conn.Write(p)
+}
+
+// flakyTransport is a TCPLoopback whose producer connections die after a
+// byte budget.
+type flakyTransport struct {
+	*TCPLoopback
+	budget int
+}
+
+func (t *flakyTransport) Dial(c int) (net.Conn, error) {
+	conn, err := t.TCPLoopback.Dial(c)
+	if err != nil {
+		return nil, err
+	}
+	return &dyingConn{Conn: conn, budget: t.budget}, nil
+}
+
+// TestNetExchangeOverTCPDroppedConnection: a connection that dies before
+// its EOS frame must turn into a query error — never a silent short
+// result. This is the transport-error-as-EOS hazard the receive path
+// guards against.
+func TestNetExchangeOverTCPDroppedConnection(t *testing.T) {
+	src := newTestEnv(t, 256)
+	dst := newTestEnv(t, 256)
+	f := src.makeInts(t, "t", shuffled(5000, 23)...)
+
+	tl, err := NewTCPLoopback(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	x, err := NewNetExchange(NetExchangeConfig{
+		Schema:     intSchema,
+		Producers:  1,
+		Consumers:  1,
+		PacketSize: 50,
+		Transport:  &flakyTransport{TCPLoopback: tl, budget: 4096},
+		NewProducer: func(int) (Iterator, error) {
+			return NewFileScan(f, nil, false)
+		},
+		ConsumerEnv: func(int) *Env { return dst.Env },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Drain(x.Consumer(0))
+	if err == nil {
+		t.Fatalf("dropped connection folded into EOS: drained %d rows with no error", n)
+	}
+}

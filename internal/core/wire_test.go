@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	recs := [][]byte{[]byte("alpha"), {}, []byte("a much longer record payload \x00 with zeros")}
+	enc := AppendWireFrame(nil, recs, 0)
+	enc = AppendWireFrame(enc, nil, WireFlagEOS)
+
+	r := bytes.NewReader(enc)
+	var f WireFrame
+	if err := ReadWireFrame(r, &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.EOS() || len(f.Recs) != len(recs) {
+		t.Fatalf("frame 1: eos=%v recs=%d", f.EOS(), len(f.Recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(f.Recs[i], recs[i]) {
+			t.Fatalf("rec %d: got %q want %q", i, f.Recs[i], recs[i])
+		}
+	}
+	if err := ReadWireFrame(r, &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !f.EOS() || len(f.Recs) != 0 || f.Err() != nil {
+		t.Fatalf("frame 2: eos=%v recs=%d err=%v", f.EOS(), len(f.Recs), f.Err())
+	}
+	if err := ReadWireFrame(r, &f, 0); err != io.EOF {
+		t.Fatalf("after last frame: %v", err)
+	}
+}
+
+func TestWireFrameErrorAndHello(t *testing.T) {
+	enc := AppendWireControl(nil, WireFlagHello, []byte(`{"producer":3}`))
+	enc = AppendWireControl(enc, WireFlagEOS|WireFlagErr, []byte("scan failed: page torn"))
+
+	r := bytes.NewReader(enc)
+	var f WireFrame
+	if err := ReadWireFrame(r, &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags&WireFlagHello == 0 || string(f.Msg) != `{"producer":3}` {
+		t.Fatalf("hello frame: flags=%x msg=%q", f.Flags, f.Msg)
+	}
+	if err := ReadWireFrame(r, &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !f.EOS() || f.Err() == nil || !strings.Contains(f.Err().Error(), "page torn") {
+		t.Fatalf("error frame: eos=%v err=%v", f.EOS(), f.Err())
+	}
+}
+
+func TestWireFrameTruncationAndCorruption(t *testing.T) {
+	full := AppendWireFrame(nil, [][]byte{[]byte("hello"), []byte("world")}, 0)
+	// Every strict prefix must fail with EOF (empty) or ErrUnexpectedEOF.
+	for cut := 0; cut < len(full); cut++ {
+		var f WireFrame
+		err := ReadWireFrame(bytes.NewReader(full[:cut]), &f, 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut=0: %v", err)
+			}
+			continue
+		}
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] ^= 0xff
+	var f WireFrame
+	var we *WireError
+	if err := ReadWireFrame(bytes.NewReader(bad), &f, 0); !errors.As(err, &we) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Oversized length prefix must error before allocating.
+	huge := appendWireHeader(nil, 0, 1<<30)
+	if err := ReadWireFrame(bytes.NewReader(huge), &f, 0); !errors.As(err, &we) {
+		t.Fatalf("huge prefix: %v", err)
+	}
+
+	// A record length overrunning the payload.
+	overrun := append([]byte(nil), full...)
+	binary.BigEndian.PutUint32(overrun[wireHeaderLen:], 1<<20)
+	if err := ReadWireFrame(bytes.NewReader(overrun), &f, 0); !errors.As(err, &we) {
+		t.Fatalf("overrun record: %v", err)
+	}
+}
+
+// TestWireSenderOverTCP drives the sender/decoder pair over a real TCP
+// loopback connection: records in, identical records out, EOS observed,
+// and an error message surviving the trip.
+func TestWireSenderOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const n = 1000
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		s := NewWireSender(conn, 7)
+		if err := s.Hello([]byte("hi")); err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if err := s.Add([]byte{byte(i), byte(i >> 8)}); err != nil {
+				return
+			}
+		}
+		_ = s.CloseEOS("deliberate failure")
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var f WireFrame
+	if err := ReadWireFrame(conn, &f, 0); err != nil || f.Flags&WireFlagHello == 0 {
+		t.Fatalf("hello: %v flags=%x", err, f.Flags)
+	}
+	got, sawErr := 0, false
+	for {
+		if err := ReadWireFrame(conn, &f, 0); err != nil {
+			t.Fatalf("after %d recs: %v", got, err)
+		}
+		for i, r := range f.Recs {
+			want := got + i
+			if len(r) != 2 || r[0] != byte(want) || r[1] != byte(want>>8) {
+				t.Fatalf("rec %d corrupted: %v", want, r)
+			}
+		}
+		got += len(f.Recs)
+		if e := f.Err(); e != nil {
+			sawErr = strings.Contains(e.Error(), "deliberate failure")
+		}
+		if f.EOS() {
+			break
+		}
+	}
+	if got != n || !sawErr {
+		t.Fatalf("got %d records, sawErr=%v", got, sawErr)
+	}
+}

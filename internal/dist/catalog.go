@@ -1,0 +1,22 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/storage/file"
+)
+
+// CatalogVersion derives the catalog epoch for a served database file.
+// Volumes are read-only while serving, so file identity (path), mtime
+// and table population pin the contents well enough: a coordinator and
+// its workers serving the same database file derive the same version,
+// and reloading the database produces a new one — invalidating cached
+// plans on the server and making stale workers reject dispatches.
+func CatalogVersion(path string, base *file.Volume) string {
+	mtime := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		mtime = st.ModTime().UnixNano()
+	}
+	return fmt.Sprintf("%s|%d|%d|%d", path, mtime, len(base.List()), len(base.Indexes()))
+}

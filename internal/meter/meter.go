@@ -113,6 +113,21 @@ func (m *Meter) WireSend(bytes int) {
 	m.WireBytes.Add(int64(bytes))
 }
 
+// WireRecv records one netexchange wire packet received on behalf of
+// this query. It lands in the same WirePackets/WireBytes counters as
+// WireSend: the pair exists so each side of a real wire attributes the
+// traffic it actually saw — in a distributed plan the sending worker and
+// the receiving coordinator hold different meters, and each bills the
+// packets that crossed its own socket. An in-process hub counts each
+// packet on exactly one side, never both.
+func (m *Meter) WireRecv(bytes int) {
+	if m == nil {
+		return
+	}
+	m.WirePackets.Add(1)
+	m.WireBytes.Add(int64(bytes))
+}
+
 // BatchAlloc records bytes newly allocated to this query's batches and
 // advances the high-water mark.
 func (m *Meter) BatchAlloc(bytes int64) {

@@ -46,6 +46,25 @@ type Analysis struct {
 	// from producer goroutines at run time.
 	mu   sync.Mutex
 	hubs map[*Node][]*core.Exchange
+
+	// fragments are live readers of remote-fragment state, registered by
+	// the distributed layer when a build binds exchange cuts to workers.
+	// Each closure snapshots one fragment's current counters, so String()
+	// renders a consistent mid-flight view like every other number here.
+	fragments []func() FragmentStat
+}
+
+// FragmentStat is one remote fragment's contribution to EXPLAIN
+// ANALYZE: which producer of which cut ran where, how much crossed the
+// wire, and how many dispatch attempts it took.
+type FragmentStat struct {
+	Path      string `json:"path"`     // exchange cut (see NodeAtPath)
+	Producer  int    `json:"producer"` // producer index within the cut
+	Worker    string `json:"worker"`   // worker address the fragment ran on
+	Attempts  int    `json:"attempts"` // dispatch attempts (1 = no retry)
+	Records   int64  `json:"records"`
+	WireBytes int64  `json:"wire_bytes"`
+	State     string `json:"state"` // running | done | failed
 }
 
 // NodeStats are one node's counters; an alias for the shared core type so
@@ -60,12 +79,14 @@ func BuildAnalyzed(env *core.Env, cat Catalog, n *Node) (core.Iterator, *Analysi
 }
 
 func buildAnalyzed(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, BuildOptions{Analyze: true, Tracer: tr})
+	return buildObserved(env, cat, n, 0, BuildOptions{Analyze: true, Tracer: tr})
 }
 
 // buildObserved performs the instrumented build. The env is expected to
 // already carry the meter when o.Meter is set (BuildWith derives it).
-func buildObserved(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterator, *Analysis, error) {
+// partition pins the producer index for fragment builds (see
+// BuildFragmentProducer); whole-plan builds pass 0.
+func buildObserved(env *core.Env, cat Catalog, n *Node, partition int, o BuildOptions) (core.Iterator, *Analysis, error) {
 	tr, mr := o.Tracer, o.Metrics
 	an := &Analysis{
 		root:    n,
@@ -101,7 +122,7 @@ func buildObserved(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.It
 		}
 	}
 	walk(n)
-	it, err := build(&buildCtx{env: env, cat: cat, analysis: an, tracer: tr, done: o.Done, batch: o.BatchSize, queryID: o.QueryID}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, partition: partition, analysis: an, tracer: tr, done: o.Done, batch: o.BatchSize, queryID: o.QueryID, remote: o.Remote}, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,6 +142,27 @@ func (a *Analysis) addExchange(n *Node, x *core.Exchange) {
 	a.mu.Lock()
 	a.hubs[n] = append(a.hubs[n], x)
 	a.mu.Unlock()
+}
+
+// AddFragment registers a live reader for one remote fragment's state.
+// The distributed layer calls this once per dispatched producer
+// fragment; safe concurrently with rendering.
+func (a *Analysis) AddFragment(fn func() FragmentStat) {
+	a.mu.Lock()
+	a.fragments = append(a.fragments, fn)
+	a.mu.Unlock()
+}
+
+// Fragments snapshots every registered remote fragment.
+func (a *Analysis) Fragments() []FragmentStat {
+	a.mu.Lock()
+	fns := append([]func() FragmentStat(nil), a.fragments...)
+	a.mu.Unlock()
+	out := make([]FragmentStat, len(fns))
+	for i, fn := range fns {
+		out[i] = fn()
+	}
+	return out
 }
 
 // ExchangeStats sums the port counters of every hub instantiated for the
@@ -222,6 +264,10 @@ func (a *Analysis) String() string {
 		fmt.Fprintf(&sb, "query %s\n", a.queryID)
 	}
 	a.render(&sb, a.root, 0)
+	for _, f := range a.Fragments() {
+		fmt.Fprintf(&sb, "fragment path=%q producer=%d worker=%s attempts=%d records=%d wire=%dB state=%s\n",
+			f.Path, f.Producer, f.Worker, f.Attempts, f.Records, f.WireBytes, f.State)
+	}
 	if a.pool != nil {
 		st := a.PoolStats()
 		balance := "pins balanced"

@@ -198,6 +198,19 @@ type buildCtx struct {
 	done      <-chan struct{} // non-nil: cancellation for exchange producer groups
 	batch     int             // >0: enable the batch protocol on every operator
 	queryID   string          // stamped into exchanges for pprof labels
+	remote    RemoteBinder    // non-nil: offered distributable exchange nodes
+	path      string          // dotted child-index path of the node being built
+}
+
+// in derives the context for building child i: path tracking is only
+// paid when a remote binder is watching the build.
+func (c *buildCtx) in(i int) *buildCtx {
+	if c.remote == nil {
+		return c
+	}
+	cc := *c
+	cc.path = childPath(c.path, i)
+	return &cc
 }
 
 // BuildOptions selects the optional build facilities. The zero value is a
@@ -240,7 +253,21 @@ type BuildOptions struct {
 	// The build derives a metered Env and metered file handles once, so
 	// the per-event cost at run time is a single atomic add.
 	Meter *core.ResourceMeter
+	// Remote, when non-nil, is offered every distributable exchange node
+	// (see Distributable) the build reaches on the coordinator-visible
+	// spine of the plan — never inside a producer subtree. Returning
+	// ok=true substitutes the returned iterator for the whole exchange
+	// subtree: its producers execute elsewhere (a volcano-worker fleet)
+	// and the iterator is the receiving end of the wire. Returning
+	// ok=false builds the node locally as usual. Instrumentation,
+	// tracing and batch configuration wrap the substituted iterator the
+	// same way they wrap a local exchange.
+	Remote RemoteBinder
 }
+
+// RemoteBinder intercepts distributable exchange nodes during a build.
+// path locates the node in the tree (see NodeAtPath).
+type RemoteBinder func(path string, n *Node) (core.Iterator, bool, error)
 
 // BuildWith instantiates the plan with the given options. The *Analysis
 // is non-nil iff o.Analyze or o.Metrics is set.
@@ -259,9 +286,9 @@ func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterat
 		env = env.WithMeter(o.Meter)
 	}
 	if o.Analyze || o.Metrics.Enabled() {
-		return buildObserved(env, cat, n, o)
+		return buildObserved(env, cat, n, 0, o)
 	}
-	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize, queryID: o.QueryID}, n)
+	it, err := build(&buildCtx{env: env, cat: cat, tracer: o.Tracer, done: o.Done, batch: o.BatchSize, queryID: o.QueryID, remote: o.Remote}, n)
 	return it, nil, err
 }
 
@@ -273,7 +300,7 @@ func BuildWith(env *core.Env, cat Catalog, n *Node, o BuildOptions) (core.Iterat
 // Either tr or mr (or both) may be nil; with both nil it is
 // BuildAnalyzed.
 func BuildObserved(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer, mr *metrics.Registry) (core.Iterator, *Analysis, error) {
-	return buildObserved(env, cat, n, BuildOptions{Analyze: true, Tracer: tr, Metrics: mr})
+	return buildObserved(env, cat, n, 0, BuildOptions{Analyze: true, Tracer: tr, Metrics: mr})
 }
 
 // Build instantiates the plan into an iterator tree.
@@ -299,9 +326,23 @@ func BuildAnalyzedTraced(env *core.Env, cat Catalog, n *Node, tr *trace.Tracer) 
 
 // build instantiates one node, adding instrumentation when requested.
 func build(ctx *buildCtx, n *Node) (core.Iterator, error) {
-	it, err := buildNode(ctx, n)
-	if err != nil {
-		return it, err
+	var it core.Iterator
+	var err error
+	bound := false
+	if ctx.remote != nil && n.Kind == KindExchange && Distributable(n) {
+		// Offer the cut to the coordinator: a bound exchange's producers
+		// run on remote workers and it is replaced, whole subtree and
+		// all, by the receiving end of the wire.
+		it, bound, err = ctx.remote(ctx.path, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !bound {
+		it, err = buildNode(ctx, n)
+		if err != nil {
+			return it, err
+		}
 	}
 	// Batch mode: configure the raw operator before any instrumentation
 	// wrap, so the whole tree switches protocol uniformly. Operators
@@ -375,21 +416,21 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return core.NewIndexScan(tree, meteredFile(ctx, f), nil, lo, hi, true, true)
 
 	case KindFilter:
-		in, err := build(ctx, n.Inputs[0])
+		in, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
 		return core.NewFilterExpr(in, n.Pred, n.Mode)
 
 	case KindProject:
-		in, err := build(ctx, n.Inputs[0])
+		in, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
 		return core.NewProjectExprs(ctx.env, in, n.Exprs, n.Names, n.Mode)
 
 	case KindSort:
-		in, err := build(ctx, n.Inputs[0])
+		in, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +443,7 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return core.NewSort(ctx.env, in, spec), nil
 
 	case KindDistinct:
-		in, err := build(ctx, n.Inputs[0])
+		in, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +453,7 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return core.NewHashDistinct(ctx.env, in)
 
 	case KindAggregate:
-		in, err := build(ctx, n.Inputs[0])
+		in, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -446,11 +487,11 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return core.NewHashAggregate(ctx.env, in, groupBy, aggs)
 
 	case KindMatch:
-		l, err := build(ctx, n.Inputs[0])
+		l, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(ctx, n.Inputs[1])
+		r, err := build(ctx.in(1), n.Inputs[1])
 		if err != nil {
 			return nil, err
 		}
@@ -475,22 +516,22 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 		return core.NewHashMatch(ctx.env, n.MatchOp, l, r, lk, rk)
 
 	case KindNestedLoops:
-		l, err := build(ctx, n.Inputs[0])
+		l, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(ctx, n.Inputs[1])
+		r, err := build(ctx.in(1), n.Inputs[1])
 		if err != nil {
 			return nil, err
 		}
 		return core.NewNestedLoops(ctx.env, l, r, n.Pred, n.Mode)
 
 	case KindDivision:
-		l, err := build(ctx, n.Inputs[0])
+		l, err := build(ctx.in(0), n.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(ctx, n.Inputs[1])
+		r, err := build(ctx.in(1), n.Inputs[1])
 		if err != nil {
 			return nil, err
 		}

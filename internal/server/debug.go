@@ -69,6 +69,9 @@ func (s *Server) MountDebug(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/queries/", s.handleDebugQuery)
 	mux.HandleFunc("/debug/slowlog", s.handleDebugSlowlog)
+	if s.cfg.Dist != nil {
+		mux.HandleFunc("/debug/workers", s.handleDebugWorkers)
+	}
 }
 
 // handleDebugQueries serves GET /debug/queries: every active query with

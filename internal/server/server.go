@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 )
@@ -93,6 +94,15 @@ type Config struct {
 	// Metrics, when non-nil, receives the volcano_server_* families and
 	// is served on GET /metrics.
 	Metrics *metrics.Registry
+
+	// Dist, when non-nil, enables distributed execution: every query
+	// build offers its distributable exchange cuts to the coordinator,
+	// which ships producer fragments to registered volcano-worker
+	// processes while the root fragment runs here. The server also
+	// mounts POST /dist/register (worker registration) and GET
+	// /debug/workers (fleet view). With no live workers registered the
+	// binder declines and queries execute locally, unchanged.
+	Dist *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +173,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/debug/queries/", s.handleDebugQuery)
 	s.mux.HandleFunc("/debug/slowlog", s.handleDebugSlowlog)
+	if cfg.Dist != nil {
+		s.mux.HandleFunc("/dist/register", s.handleDistRegister)
+		s.mux.HandleFunc("/debug/workers", s.handleDebugWorkers)
+	}
 	metrics.Mount(s.mux, cfg.Metrics)
 	return s, nil
 }
@@ -390,19 +404,42 @@ func (s *Server) compile(src string) (*plan.Template, bool, error) {
 func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryRecord, tpl *plan.Template, batch int, analyze bool) {
 	execStart := time.Now()
 	rec.state.Store(stateExecuting)
-	it, an, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, plan.BuildOptions{
+	opts := plan.BuildOptions{
 		Analyze:   true,
 		Metrics:   s.cfg.Metrics,
 		Done:      ctx.Done(),
 		BatchSize: batch,
 		QueryID:   rec.id,
 		Meter:     &rec.meter,
-	})
+	}
+	// With a coordinator configured, offer every distributable exchange
+	// cut to the worker fleet; the summary collects what actually shipped
+	// for the trailer and EXPLAIN ANALYZE.
+	var distSum *dist.Summary
+	if s.cfg.Dist != nil {
+		distSum = &dist.Summary{}
+		opts.Remote = s.cfg.Dist.Binder(dist.BindRequest{
+			QueryID:        rec.id,
+			Source:         tpl.Source(),
+			Root:           tpl.Root(),
+			CatalogVersion: s.currentCatalogVersion(),
+			BatchSize:      batch,
+			Env:            s.cfg.Env,
+			Cat:            s.cfg.Catalog,
+			Meter:          &rec.meter,
+			Summary:        distSum,
+			Done:           ctx.Done(),
+		})
+	}
+	it, an, err := tpl.Build(s.cfg.Env, s.cfg.Catalog, opts)
 	if err != nil {
 		s.m.rejPlan.Inc()
 		writeReject(w, http.StatusBadRequest, rec.id, err.Error(), time.Since(rec.started), nil)
 		s.finishQuery(rec, "error", err.Error())
 		return
+	}
+	for _, fn := range distSum.StatFuncs() {
+		an.AddFragment(fn)
 	}
 	rec.analysis.Store(an)
 	if err := it.Open(); err != nil {
@@ -535,6 +572,13 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 	// volcano_server_query_* totals read.
 	res := an.Resources()
 	t.Resources = &res
+	if frags := distSum.Fragments(); len(frags) > 0 {
+		t.Dist = &distStatus{
+			Fragments:     frags,
+			Retries:       distSum.Retries.Load(),
+			WireRecvBytes: distSum.WireRecv.Load(),
+		}
+	}
 	if analyze {
 		t.Analyze = an.String()
 	}

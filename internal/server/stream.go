@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/record"
 )
 
@@ -103,10 +104,23 @@ type trailer struct {
 	// snapshot the slow-query log and /debug/queries serve. Rejections
 	// (which never built an iterator tree) omit it.
 	Resources *core.ResourceSnapshot `json:"resources,omitempty"`
+	// Dist is the distributed-execution block: present only when at
+	// least one fragment of this query shipped to a remote worker.
+	Dist *distStatus `json:"dist,omitempty"`
 	// Analyze carries the EXPLAIN ANALYZE report of this run when the
 	// request asked for it with X-Volcano-Analyze: 1.
 	Analyze string `json:"analyze,omitempty"`
 	Error   string `json:"error,omitempty"`
+}
+
+// distStatus summarises a query's remote fragments in the trailer: one
+// entry per (cut, producer) with the worker it ran on, dispatch attempts
+// (>1 means worker loss survived via retry), records delivered and wire
+// bytes received, plus query totals.
+type distStatus struct {
+	Fragments     []plan.FragmentStat `json:"fragments"`
+	Retries       int64               `json:"retries"`
+	WireRecvBytes int64               `json:"wire_recv_bytes"`
 }
 
 func (t trailer) render() []byte {
