@@ -72,6 +72,10 @@ type options struct {
 	// batch, when positive, executes every query under the batch-at-a-time
 	// protocol by default; requests override per query with X-Volcano-Batch.
 	batch int
+	// noCost turns the cost-based planning pass off: queries run their
+	// plan text verbatim, with no planner-chosen knobs and no
+	// cardinality feedback.
+	noCost bool
 	// slowQuery is the slow-query log threshold: completed queries at or
 	// over it (and every errored/canceled query) get a structured log
 	// entry. 0 logs only errors/cancels; negative disables the log.
@@ -122,6 +126,7 @@ func main() {
 	flag.DurationVar(&o.maxQueryTime, "max-query-time", 0, "per-query execution deadline (0 = unbounded)")
 	flag.IntVar(&o.planCache, "plan-cache", 128, "compiled-plan LRU capacity (negative disables)")
 	flag.IntVar(&o.batch, "batch", 0, "default batch size for query execution, overridable per request with X-Volcano-Batch (0 = record-at-a-time)")
+	cost := flag.Bool("cost", true, "cost-based planning: fill unset exchange parallelism, packet sizes and match strategy from table statistics, with cardinality feedback on repeats")
 	flag.DurationVar(&o.slowQuery, "slow-query", time.Second, "slow-query log threshold; errored/canceled queries are always logged (0 = only those, negative = no log)")
 	flag.StringVar(&o.queryLog, "query-log", "", "append slow-query entries to this file as JSON lines (empty = in-memory ring only)")
 	flag.StringVar(&o.workers, "workers", "", "comma-separated volcano-worker addresses to register for distributed execution (enables the coordinator)")
@@ -133,6 +138,7 @@ func main() {
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "longest an idle keep-alive connection is held open")
 	flag.DurationVar(&o.writeStall, "write-stall-timeout", 2*time.Minute, "longest one result flush may block on a non-reading client")
 	flag.Parse()
+	o.noCost = !*cost
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "volcano-serve:", err)
@@ -237,6 +243,7 @@ func run(o options) error {
 		QueueWait:         o.queueWait,
 		MaxQueryTime:      o.maxQueryTime,
 		PlanCacheSize:     o.planCache,
+		DisableCosting:    o.noCost,
 		WriteStallTimeout: o.writeStall,
 		BatchSize:         o.batch,
 		SlowQuery:         o.slowQuery,

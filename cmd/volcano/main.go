@@ -69,7 +69,12 @@ type options struct {
 	frames   int
 	explain  bool
 	analyze  bool
-	maxRows  int
+	// cost runs the plan through the cost-based planning pass before
+	// execution: table statistics gathered at load time fill whatever
+	// knobs the plan text leaves open (exchange parallelism, packet
+	// sizes, hash-vs-merge strategy via choose-plan).
+	cost    bool
+	maxRows int
 	// batch, when positive, builds and drives the plan under the
 	// batch-at-a-time protocol: operators consume their inputs in batches
 	// of this size and the result printer drains the root via NextBatch.
@@ -100,6 +105,7 @@ func main() {
 	flag.IntVar(&o.frames, "frames", 4096, "buffer pool frames")
 	flag.BoolVar(&o.explain, "explain", false, "print the plan instead of running it")
 	flag.BoolVar(&o.analyze, "analyze", false, "after running, print the plan with per-operator statistics")
+	flag.BoolVar(&o.cost, "cost", false, "cost the plan first: pick unset exchange parallelism, packet sizes and match strategy from table statistics")
 	flag.IntVar(&o.maxRows, "maxrows", 0, "print at most this many rows (0 = all)")
 	flag.IntVar(&o.batch, "batch", 0, "run under the batch-at-a-time protocol with this batch size (0 = record-at-a-time)")
 	flag.StringVar(&o.db, "db", "", "durable database file: created if absent, loaded tables persist")
@@ -140,7 +146,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	if o.explain {
+	if o.explain && !o.cost {
 		fmt.Print(plan.Explain(node))
 		return nil
 	}
@@ -244,6 +250,12 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("-load %s: %w", name, err)
 		}
+		// Freshly loaded data is in the buffer pool anyway, so gathering
+		// statistics now is nearly free — and it is what lets -cost (here
+		// or in a later volcano-serve run over the same -db) estimate.
+		if _, err := base.Analyze(name); err != nil {
+			return fmt.Errorf("-load %s: analyze: %w", name, err)
+		}
 		fmt.Fprintf(os.Stderr, "loaded %s: %d records, %d pages\n", name, f.Records(), f.Pages())
 	}
 
@@ -260,7 +272,30 @@ func run(o options) error {
 		if err := partitionTable(base, src, name, k); err != nil {
 			return err
 		}
+		for p := 0; p < k; p++ {
+			if _, err := base.Analyze(fmt.Sprintf("%s.%d", name, p)); err != nil {
+				return fmt.Errorf("-partition %s: analyze: %w", name, err)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "partitioned %s into %d files\n", name, k)
+	}
+
+	// With -cost, re-derive the plan through the costing pass now that
+	// the catalog (and its load-time statistics) exists; the costed tree
+	// replaces the parsed one for explain, build and the analyze report.
+	var estimates map[*plan.Node]int64
+	if o.cost {
+		tpl, err := plan.Compile(script)
+		if err != nil {
+			return err
+		}
+		cp := tpl.Cost(cat, nil)
+		node = cp.Template.Root()
+		estimates = cp.Estimates
+	}
+	if o.explain {
+		fmt.Print(plan.Explain(node))
+		return nil
 	}
 
 	// BuildWith composes all the facilities: -metrics implies the observed
@@ -272,6 +307,7 @@ func run(o options) error {
 		Tracer:    tracer,
 		Metrics:   mr,
 		BatchSize: o.batch,
+		Estimates: estimates,
 	})
 	if err != nil {
 		return err

@@ -162,7 +162,8 @@ type HashAggregate struct {
 	groups map[string]*group
 	order  []string
 	emit   int
-	open   bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 	batch  int
 }
 
@@ -191,6 +192,12 @@ func (h *HashAggregate) Open() error {
 	if h.open {
 		return errState("hashaggregate", "already open")
 	}
+	err := h.openImpl()
+	h.openFailed = err != nil
+	return err
+}
+
+func (h *HashAggregate) openImpl() error {
 	w, err := h.env.NewResultWriter("hashagg", h.schema)
 	if err != nil {
 		return err
@@ -303,6 +310,13 @@ func (h *HashAggregate) NextBatch(b *Batch) error {
 
 // Close implements Iterator.
 func (h *HashAggregate) Close() error {
+	if h.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		h.openFailed = false
+		return nil
+	}
 	if !h.open {
 		return errState("hashaggregate", "close before open")
 	}
@@ -327,7 +341,8 @@ type SortAggregate struct {
 	w     *ResultWriter
 	cur   *group
 	done  bool
-	open  bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 	batch int
 	src   recSource
 }
@@ -352,6 +367,12 @@ func (s *SortAggregate) Open() error {
 	if s.open {
 		return errState("sortaggregate", "already open")
 	}
+	err := s.openImpl()
+	s.openFailed = err != nil
+	return err
+}
+
+func (s *SortAggregate) openImpl() error {
 	w, err := s.env.NewResultWriter("sortagg", s.schema)
 	if err != nil {
 		return err
@@ -482,6 +503,13 @@ func (s *SortAggregate) emit(g *group) (Rec, error) {
 
 // Close implements Iterator.
 func (s *SortAggregate) Close() error {
+	if s.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		s.openFailed = false
+		return nil
+	}
 	if !s.open {
 		return errState("sortaggregate", "close before open")
 	}

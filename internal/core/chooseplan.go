@@ -21,6 +21,11 @@ type ChoosePlan struct {
 	decide       func() (int, error)
 	schema       *record.Schema
 	chosen       Iterator
+	chosenBatch  BatchIterator // batch face of chosen, set at Open
+	choice       int           // index of chosen, valid while chosen != nil
+	batch        int           // EnableBatch size propagated to alternatives
+	openFailed   bool          // Open ran and failed: next Close is a no-op
+	onChoose     func(int)     // observability hook, may be nil
 }
 
 // NewChoosePlan builds the operator. All alternatives must produce the
@@ -45,23 +50,49 @@ func NewChoosePlan(alternatives []Iterator, decide func() (int, error)) (*Choose
 // Schema implements Iterator.
 func (c *ChoosePlan) Schema() *record.Schema { return c.schema }
 
+// OnChoose registers a hook invoked with the chosen alternative's index
+// every time Open decides (observability: EXPLAIN ANALYZE and planner
+// metrics record which plan actually ran).
+func (c *ChoosePlan) OnChoose(fn func(int)) { c.onChoose = fn }
+
+// Chosen reports the index of the currently running alternative, or -1
+// when the operator is not open.
+func (c *ChoosePlan) Chosen() int {
+	if c.chosen == nil {
+		return -1
+	}
+	return c.choice
+}
+
 // Open implements Iterator: evaluates the decision support function and
 // opens only the chosen alternative.
 func (c *ChoosePlan) Open() error {
 	if c.chosen != nil {
 		return errState("chooseplan", "already open")
 	}
+	c.openFailed = false
 	i, err := c.decide()
 	if err != nil {
+		c.openFailed = true
 		return fmt.Errorf("core: chooseplan: decision: %w", err)
 	}
 	if i < 0 || i >= len(c.alternatives) {
+		c.openFailed = true
 		return errState("chooseplan", fmt.Sprintf("decision %d out of range 0..%d", i, len(c.alternatives)-1))
 	}
 	if err := c.alternatives[i].Open(); err != nil {
+		// The failed alternative owns its own cleanup; remember the
+		// failure so the caller's unconditional-Close drain does not
+		// mask this error with "close before open".
+		c.openFailed = true
 		return err
 	}
 	c.chosen = c.alternatives[i]
+	c.chosenBatch = AsBatch(c.chosen)
+	c.choice = i
+	if c.onChoose != nil {
+		c.onChoose(i)
+	}
 	return nil
 }
 
@@ -73,12 +104,43 @@ func (c *ChoosePlan) Next() (Rec, bool, error) {
 	return c.chosen.Next()
 }
 
-// Close implements Iterator.
+// NextBatch implements BatchIterator by passing batches straight through
+// from the chosen alternative (via AsBatch, so row-only alternatives
+// stay valid), preserving the batch protocol end to end instead of
+// degrading the subtree above the choice to the row-at-a-time shim.
+func (c *ChoosePlan) NextBatch(b *Batch) error {
+	if c.chosenBatch == nil {
+		return errState("chooseplan", "next before open")
+	}
+	return c.chosenBatch.NextBatch(b)
+}
+
+// EnableBatch implements BatchConfigurable: the batch size propagates to
+// every alternative (the decision has not run yet at configure time, so
+// all of them must be ready to serve batches).
+func (c *ChoosePlan) EnableBatch(size int) {
+	c.batch = size
+	for _, alt := range c.alternatives {
+		if bc, ok := alt.(BatchConfigurable); ok {
+			bc.EnableBatch(size)
+		}
+	}
+}
+
+// Close implements Iterator. A Close directly after a failed Open is a
+// no-op success: the failure already unwound the alternative, and the
+// standard drain path closes unconditionally — returning a state error
+// here would mask the root cause.
 func (c *ChoosePlan) Close() error {
+	if c.openFailed {
+		c.openFailed = false
+		return nil
+	}
 	if c.chosen == nil {
 		return errState("chooseplan", "close before open")
 	}
 	err := c.chosen.Close()
 	c.chosen = nil
+	c.chosenBatch = nil
 	return err
 }

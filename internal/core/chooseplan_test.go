@@ -114,6 +114,67 @@ func TestChoosePlanValidation(t *testing.T) {
 	}
 }
 
+// TestChoosePlanBatchParity drives both alternatives of a choose-plan
+// through the batch protocol at several sizes and checks the stream
+// matches row mode — whether the chosen alternative is batch-native
+// (file scan) or row-only behind the AsBatch shim (filter). This is the
+// conformance case for ChoosePlan's NextBatch pass-through and
+// EnableBatch propagation.
+func TestChoosePlanBatchParity(t *testing.T) {
+	env := newTestEnv(t, 256)
+	f := env.makeInts(t, "t", shuffled(500, 7)...)
+	mkChoose := func(alt int) Iterator {
+		native := scanOf(t, f)
+		rowOnly, err := NewFilterExpr(scanOf(t, f), "v >= 0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := NewChoosePlan([]Iterator{native, rowOnly}, func() (int, error) { return alt, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+	for alt := 0; alt < 2; alt++ {
+		rowCount, err := Drain(mkChoose(alt))
+		if err != nil {
+			t.Fatalf("alt %d row mode: %v", alt, err)
+		}
+		if rowCount != 500 {
+			t.Fatalf("alt %d row mode: %d rows, want 500", alt, rowCount)
+		}
+		for _, size := range []int{1, 7, 83} {
+			cp := mkChoose(alt)
+			if bc, ok := cp.(BatchConfigurable); ok {
+				bc.EnableBatch(size)
+			}
+			if err := cp.Open(); err != nil {
+				t.Fatalf("alt %d size %d: open: %v", alt, size, err)
+			}
+			src := AsBatch(cp)
+			b := NewBatch(size)
+			n := 0
+			for {
+				if err := src.NextBatch(b); err != nil {
+					t.Fatalf("alt %d size %d: %v", alt, size, err)
+				}
+				if b.Len() == 0 {
+					break
+				}
+				n += b.Len()
+				b.Release()
+			}
+			if err := cp.Close(); err != nil {
+				t.Fatalf("alt %d size %d: close: %v", alt, size, err)
+			}
+			if n != rowCount {
+				t.Fatalf("alt %d size %d: %d rows, row mode gave %d", alt, size, n, rowCount)
+			}
+		}
+	}
+	env.checkNoPinLeak(t)
+}
+
 func TestChoosePlanUnderExchange(t *testing.T) {
 	// A choose-plan inside each producer of an exchange: every producer
 	// makes its own run-time decision — plan choice and parallelism

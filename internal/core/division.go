@@ -36,7 +36,8 @@ type HashDivision struct {
 	table map[string]*quotient
 	ndiv  int
 	emit  int
-	open  bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 }
 
 type quotient struct {
@@ -104,6 +105,12 @@ func (d *HashDivision) Open() error {
 	if d.open {
 		return errState("hashdivision", "already open")
 	}
+	err := d.openImpl()
+	d.openFailed = err != nil
+	return err
+}
+
+func (d *HashDivision) openImpl() error {
 	w, err := d.env.NewResultWriter("hashdiv", d.schema)
 	if err != nil {
 		return err
@@ -207,6 +214,13 @@ func (d *HashDivision) Next() (Rec, bool, error) {
 
 // Close implements Iterator.
 func (d *HashDivision) Close() error {
+	if d.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		d.openFailed = false
+		return nil
+	}
 	if !d.open {
 		return errState("hashdivision", "close before open")
 	}
@@ -244,7 +258,8 @@ type SortDivision struct {
 	cur      []record.Value
 	curSeen  map[string]struct{}
 	done     bool
-	open     bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 }
 
 // NewSortDivision constructs the operator; the dividend is sorted on its
@@ -286,6 +301,12 @@ func (d *SortDivision) Open() error {
 	if d.open {
 		return errState("sortdivision", "already open")
 	}
+	err := d.openImpl()
+	d.openFailed = err != nil
+	return err
+}
+
+func (d *SortDivision) openImpl() error {
 	w, err := d.env.NewResultWriter("sortdiv", d.schema)
 	if err != nil {
 		return err
@@ -375,6 +396,13 @@ func (d *SortDivision) Next() (Rec, bool, error) {
 
 // Close implements Iterator.
 func (d *SortDivision) Close() error {
+	if d.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		d.openFailed = false
+		return nil
+	}
 	if !d.open {
 		return errState("sortdivision", "close before open")
 	}

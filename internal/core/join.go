@@ -24,7 +24,8 @@ type NestedLoops struct {
 	lrec  Rec
 	lok   bool
 	scan  *file.Scan
-	open  bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 }
 
 // NewNestedLoops builds the operator. predSrc is an expression over the
@@ -55,6 +56,12 @@ func (n *NestedLoops) Open() error {
 	if n.open {
 		return errState("nestedloops", "already open")
 	}
+	err := n.openImpl()
+	n.openFailed = err != nil
+	return err
+}
+
+func (n *NestedLoops) openImpl() error {
 	w, err := n.env.NewResultWriter("nljoin", n.schema)
 	if err != nil {
 		return err
@@ -173,6 +180,13 @@ func (n *NestedLoops) combineFiltered(l, r []byte) (Rec, bool, error) {
 
 // Close implements Iterator.
 func (n *NestedLoops) Close() error {
+	if n.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		n.openFailed = false
+		return nil
+	}
 	if !n.open {
 		return errState("nestedloops", "close before open")
 	}

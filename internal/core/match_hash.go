@@ -29,7 +29,8 @@ type HashMatch struct {
 	trail     int // cursor over order for right-only emission
 	probing   bool
 	rightOpen bool
-	open      bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 	batch     int
 	probeSrc  recSource
 }
@@ -86,6 +87,12 @@ func (h *HashMatch) Open() error {
 	if h.open {
 		return errState("hashmatch", "already open")
 	}
+	err := h.openImpl()
+	h.openFailed = err != nil
+	return err
+}
+
+func (h *HashMatch) openImpl() error {
 	if h.op.combinesSchemas() {
 		w, err := h.env.NewResultWriter("hashmatch", h.schema)
 		if err != nil {
@@ -378,6 +385,13 @@ func (h *HashMatch) combinePadLeft(r []byte) (Rec, error) {
 // inputs (the build side stayed open to keep its records pinnable), and
 // drops the temp file.
 func (h *HashMatch) Close() error {
+	if h.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		h.openFailed = false
+		return nil
+	}
 	if !h.open {
 		return errState("hashmatch", "close before open")
 	}

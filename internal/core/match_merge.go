@@ -25,7 +25,8 @@ type MergeMatch struct {
 	rrec    Rec
 	rok     bool
 	pending []Rec
-	open    bool
+	open       bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 	batch   int
 	lsrc    recSource
 	rsrc    recSource
@@ -82,6 +83,12 @@ func (m *MergeMatch) Open() error {
 	if m.open {
 		return errState("mergematch", "already open")
 	}
+	err := m.openImpl()
+	m.openFailed = err != nil
+	return err
+}
+
+func (m *MergeMatch) openImpl() error {
 	if m.op.combinesSchemas() {
 		w, err := m.env.NewResultWriter("mergematch", m.schema)
 		if err != nil {
@@ -367,6 +374,13 @@ func (m *MergeMatch) combinePadLeft(r []byte) (Rec, error) {
 
 // Close implements Iterator.
 func (m *MergeMatch) Close() error {
+	if m.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		m.openFailed = false
+		return nil
+	}
 	if !m.open {
 		return errState("mergematch", "close before open")
 	}

@@ -52,6 +52,7 @@ type Sort struct {
 	runs          []*file.File
 	merge         *runMerge
 	open          bool
+	openFailed    bool // Open ran and failed: next Close is a no-op
 	batch         int
 	src           recSource
 }
@@ -88,6 +89,12 @@ func (s *Sort) Open() error {
 	if s.open {
 		return errState("sort", "already open")
 	}
+	err := s.openImpl()
+	s.openFailed = err != nil
+	return err
+}
+
+func (s *Sort) openImpl() error {
 	if s.RunSize <= 0 {
 		s.RunSize = 4096
 	}
@@ -372,6 +379,13 @@ func (s *Sort) NextBatch(b *Batch) error {
 
 // Close implements Iterator.
 func (s *Sort) Close() error {
+	if s.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		s.openFailed = false
+		return nil
+	}
 	if !s.open {
 		return errState("sort", "close before open")
 	}
@@ -482,6 +496,7 @@ type Merge struct {
 	cmp    expr.KeyCompare
 	h      mergeHeap
 	open   bool
+	openFailed bool // Open ran and failed: next Close is a no-op
 }
 
 // NewMerge merges the sorted inputs by the comparison function. All inputs
@@ -515,13 +530,32 @@ func (m *Merge) Open() error {
 	if m.open {
 		return errState("merge", "already open")
 	}
+	err := m.openImpl()
+	m.openFailed = err != nil
+	return err
+}
+
+func (m *Merge) openImpl() error {
 	m.h = mergeHeap{cmp: m.cmp}
+	// unwind releases everything a partial open accumulated: pulled heap
+	// entries stay pinned and inputs 0..opened-1 stay open otherwise.
+	unwind := func(opened int) {
+		for _, e := range m.h.entries {
+			e.rec.Unfix()
+		}
+		m.h.entries = nil
+		for j := 0; j < opened; j++ {
+			_ = m.inputs[j].Close()
+		}
+	}
 	for i, in := range m.inputs {
 		if err := in.Open(); err != nil {
+			unwind(i)
 			return err
 		}
 		r, ok, err := in.Next()
 		if err != nil {
+			unwind(i + 1)
 			return err
 		}
 		if ok {
@@ -557,6 +591,13 @@ func (m *Merge) Next() (Rec, bool, error) {
 
 // Close implements Iterator.
 func (m *Merge) Close() error {
+	if m.openFailed {
+		// A failed Open already unwound this operator's state; the
+		// standard drain path closes unconditionally, and a state error
+		// here would mask the root cause.
+		m.openFailed = false
+		return nil
+	}
 	if !m.open {
 		return errState("merge", "close before open")
 	}

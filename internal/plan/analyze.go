@@ -52,6 +52,17 @@ type Analysis struct {
 	// Each closure snapshots one fragment's current counters, so String()
 	// renders a consistent mid-flight view like every other number here.
 	fragments []func() FragmentStat
+
+	// est holds the cost pass's per-node cardinality estimates
+	// (BuildOptions.Estimates); nil when the plan was not costed. The
+	// report prints est= next to observed rows so mis-estimates are
+	// visible at a glance.
+	est map[*Node]int64
+
+	// choices records which alternative each choose-plan node picked at
+	// Open (guarded by mu: a choose-plan inside a producer subtree
+	// decides on a producer goroutine).
+	choices map[*Node]int
 }
 
 // FragmentStat is one remote fragment's contribution to EXPLAIN
@@ -96,6 +107,7 @@ func buildObserved(env *core.Env, cat Catalog, n *Node, partition int, o BuildOp
 		pool:    env.Pool,
 		queryID: o.QueryID,
 		meter:   env.Meter(),
+		est:     o.Estimates,
 	}
 	if an.pool != nil {
 		an.base = an.pool.Stats()
@@ -135,6 +147,47 @@ func (a *Analysis) Stats(n *Node) *core.OpStats { return a.stats[n] }
 // Latency returns a snapshot of the node's Next-latency histogram.
 func (a *Analysis) Latency(n *Node) metrics.HistogramSnapshot {
 	return a.hists[n].Snapshot()
+}
+
+// setChoice records a choose-plan decision for EXPLAIN ANALYZE.
+func (a *Analysis) setChoice(n *Node, i int) {
+	a.mu.Lock()
+	if a.choices == nil {
+		a.choices = map[*Node]int{}
+	}
+	a.choices[n] = i
+	a.mu.Unlock()
+}
+
+// Choice reports which alternative the choose-plan node picked at Open
+// (-1 until it decides).
+func (a *Analysis) Choice(n *Node) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i, ok := a.choices[n]; ok {
+		return i
+	}
+	return -1
+}
+
+// chosenLabel names a choose-plan decision for human-facing output:
+// the alternative's label when the spec has one, its index otherwise,
+// "undecided" before Open.
+func chosenLabel(n *Node, i int) string {
+	if i < 0 {
+		return "undecided"
+	}
+	if n.Choose != nil && i < len(n.Choose.Labels) {
+		return n.Choose.Labels[i]
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// Estimate reports the cost pass's cardinality estimate for a node; ok
+// is false when the plan was not costed.
+func (a *Analysis) Estimate(n *Node) (int64, bool) {
+	e, ok := a.est[n]
+	return e, ok
 }
 
 // addExchange registers a hub instantiated for an exchange node.
@@ -297,6 +350,9 @@ func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
 	sb.WriteString(describe(n))
 	if st := a.stats[n]; st != nil {
 		fmt.Fprintf(sb, "  [%s", st.Snapshot())
+		if e, ok := a.est[n]; ok {
+			fmt.Fprintf(sb, " est=%d", e)
+		}
 		// Latency quantiles once there is a distribution worth reading:
 		// a single Next call's p50=p95=p99 adds nothing over next=.
 		if s := a.hists[n].Snapshot(); s.Count() > 1 {
@@ -308,6 +364,10 @@ func (a *Analysis) render(sb *strings.Builder, n *Node, depth int) {
 		sb.WriteString("]")
 	}
 	sb.WriteByte('\n')
+	if n.Kind == KindChoosePlan && n.Choose != nil {
+		fmt.Fprintf(sb, "%s  {chosen=%s table=%s threshold=%d}\n",
+			indent, chosenLabel(n, a.Choice(n)), n.Choose.Table, n.Choose.Threshold)
+	}
 	if n.Kind == KindExchange {
 		x := a.ExchangeStats(n)
 		fmt.Fprintf(sb, "%s  {packets=%d records=%d forks=%d pool=%dh/%dm/%dd stall=%v wait=%v}\n",

@@ -63,3 +63,46 @@ func TestAnalyzeGoldenOutput(t *testing.T) {
 		t.Errorf("analyze report drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestCostedAnalyzeGolden pins the EXPLAIN ANALYZE report of a *costed*
+// run: the planner-chosen exchange fan-out, the est= column next to the
+// observed rows on every operator, and the chosen= line under the
+// choose-plan node. The plan leaves its knobs open on purpose — the
+// report is the proof that the costing pass filled them.
+// Regenerate with: go test ./internal/plan -run TestCostedAnalyzeGolden -update
+func TestCostedAnalyzeGolden(t *testing.T) {
+	db := newTestDB(t)
+	db.loadEmp(t, 50, 5)
+	db.loadPartitioned(t, "nums", 600, 3)
+	tpl, err := Compile("with d = scan dept\npscan nums 3 | exchange packet=50 | join hash d on v = dno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripKnobs(tpl.root)
+	cp := tpl.Cost(db.cat, nil)
+	it, an, err := BuildWith(db.env, db.cat, cp.Template.Root(), BuildOptions{
+		Analyze:   true,
+		Estimates: cp.Estimates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Drain(it); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeTimings(an.String())
+
+	golden := filepath.Join("testdata", "analyze_cost.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("costed analyze report drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

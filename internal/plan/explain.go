@@ -101,6 +101,19 @@ func describe(n *Node) string {
 			opts = append(opts, fmt.Sprintf("partition=range($%d)", o.RangeCol))
 		}
 		return "exchange " + strings.Join(opts, " ")
+	case KindChoosePlan:
+		if n.Choose == nil {
+			return "chooseplan"
+		}
+		labels := n.Choose.Labels
+		if len(labels) == 0 {
+			labels = make([]string, len(n.Inputs))
+			for i := range labels {
+				labels[i] = fmt.Sprintf("alt%d", i)
+			}
+		}
+		return fmt.Sprintf("chooseplan %s table=%s threshold=%d",
+			strings.Join(labels, "|"), n.Choose.Table, n.Choose.Threshold)
 	default:
 		return n.Kind.String()
 	}

@@ -71,6 +71,12 @@ func Cuts(root *Node) []FragmentCut {
 			}
 			return
 		}
+		if n.Kind == KindChoosePlan {
+			// A choose-plan's alternatives are picked at Open; an exchange
+			// inside an alternative that never runs must not be dispatched,
+			// so choose-plan subtrees always execute locally.
+			return
+		}
 		for i, in := range n.Inputs {
 			walk(in, childPath(path, i))
 		}
@@ -120,6 +126,12 @@ func Deterministic(n *Node) bool {
 		return true
 	}
 	if n.Kind == KindExchange && n.X != nil && !n.X.Inline {
+		return false
+	}
+	if n.Kind == KindChoosePlan {
+		// The decision function consults the catalog's stats at Open: a
+		// retry may legitimately pick a different alternative (with a
+		// different output order), so mid-stream resume is unsound.
 		return false
 	}
 	for _, in := range n.Inputs {

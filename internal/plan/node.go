@@ -34,6 +34,7 @@ const (
 	KindNestedLoops
 	KindDivision
 	KindExchange
+	KindChoosePlan
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +42,7 @@ var kindNames = map[Kind]string{
 	KindFilter: "filter", KindProject: "project", KindSort: "sort",
 	KindDistinct: "distinct", KindAggregate: "aggregate", KindMatch: "match",
 	KindNestedLoops: "nestedloops", KindDivision: "division", KindExchange: "exchange",
+	KindChoosePlan: "chooseplan",
 }
 
 // String names the kind.
@@ -95,6 +97,10 @@ type Node struct {
 	GroupBy  record.Key
 	Aggs     []core.AggSpec
 	Algo     Algo
+	// AlgoSet records that the plan text named the algorithm explicitly
+	// (join hash ..., agg sort ...). The cost pass only overrides
+	// strategy choices the author left open.
+	AlgoSet bool
 	MatchOp  core.MatchOp
 	LeftKey  record.Key
 	RightKey record.Key
@@ -120,12 +126,39 @@ type Node struct {
 
 	// Exchange.
 	X *XOpts
+
+	// ChoosePlan: every Inputs[i] is a complete alternative subplan; the
+	// decision support function described by Choose runs at Open.
+	Choose *ChooseSpec
+}
+
+// ChooseSpec describes a choose-plan decision function [Graefe & Ward,
+// SIGMOD 1989]: the choice between alternatives is deferred to Open,
+// when the catalog's *current* statistics for Table are consulted — the
+// plan may be cached and re-run long after it was costed.
+type ChooseSpec struct {
+	// Table is the base table whose runtime cardinality drives the
+	// decision (the build side of a match).
+	Table string
+	// Threshold: records <= Threshold at Open chooses Small, above it
+	// Large; when the catalog has no stats for Table the Default
+	// alternative runs.
+	Threshold int64
+	Small     int
+	Large     int
+	Default   int
+	// Labels name the alternatives for EXPLAIN and metrics ("hash",
+	// "merge"); parallel to Inputs.
+	Labels []string
 }
 
 // XOpts carries the exchange state-record settings at the plan level.
 type XOpts struct {
-	Producers   int
-	Consumers   int
+	Producers int
+	// ProducersSet records that the plan text fixed the producer count
+	// explicitly (producers=N); without it the cost pass may choose.
+	ProducersSet bool
+	Consumers    int
 	PacketSize  int
 	FlowControl bool
 	Slack       int
@@ -153,6 +186,14 @@ type IndexCatalog interface {
 	LookupIndex(name string) (*btree.Tree, error)
 }
 
+// StatsCatalog is the optional extension catalogs implement when they
+// can report table statistics (record/page counts, per-field distinct
+// estimates). The cost pass works from these at planning time, and
+// choose-plan decision functions consult them again at Open.
+type StatsCatalog interface {
+	LookupStats(name string) (file.TableStats, bool)
+}
+
 // MapCatalog is a Catalog backed by a map.
 type MapCatalog map[string]*file.File
 
@@ -163,6 +204,15 @@ func (m MapCatalog) Lookup(name string) (*file.File, error) {
 		return nil, fmt.Errorf("plan: table %q not found", name)
 	}
 	return f, nil
+}
+
+// LookupStats implements StatsCatalog.
+func (m MapCatalog) LookupStats(name string) (file.TableStats, bool) {
+	f, ok := m[name]
+	if !ok {
+		return file.TableStats{}, false
+	}
+	return f.Stats(), true
 }
 
 // VolumeCatalog resolves names against volumes, in order.
@@ -176,6 +226,16 @@ func (v VolumeCatalog) Lookup(name string) (*file.File, error) {
 		}
 	}
 	return nil, fmt.Errorf("plan: table %q not found on any volume", name)
+}
+
+// LookupStats implements StatsCatalog.
+func (v VolumeCatalog) LookupStats(name string) (file.TableStats, bool) {
+	for _, vol := range v {
+		if st, ok := vol.Stats(name); ok {
+			return st, true
+		}
+	}
+	return file.TableStats{}, false
 }
 
 // LookupIndex implements IndexCatalog.
@@ -253,6 +313,11 @@ type BuildOptions struct {
 	// The build derives a metered Env and metered file handles once, so
 	// the per-event cost at run time is a single atomic add.
 	Meter *core.ResourceMeter
+	// Estimates carries the cost pass's per-node cardinality estimates
+	// (CostedPlan.Estimates) into the Analysis, so EXPLAIN ANALYZE can
+	// print estimated next to observed rows. Keys must be nodes of the
+	// tree being built. Nil when the plan was not costed.
+	Estimates map[*Node]int64
 	// Remote, when non-nil, is offered every distributable exchange node
 	// (see Distributable) the build reaches on the coordinator-visible
 	// spine of the plan — never inside a producer subtree. Returning
@@ -558,6 +623,44 @@ func buildNode(ctx *buildCtx, n *Node) (core.Iterator, error) {
 
 	case KindExchange:
 		return buildExchange(ctx, n)
+
+	case KindChoosePlan:
+		if n.Choose == nil || len(n.Inputs) == 0 {
+			return nil, fmt.Errorf("plan: chooseplan node without decision spec")
+		}
+		alts := make([]core.Iterator, len(n.Inputs))
+		for i := range n.Inputs {
+			alt, err := build(ctx.in(i), n.Inputs[i])
+			if err != nil {
+				return nil, err
+			}
+			alts[i] = alt
+		}
+		spec := n.Choose
+		cat := ctx.cat
+		cp, err := core.NewChoosePlan(alts, func() (int, error) {
+			// The decision runs at Open against the catalog's stats *now*,
+			// not the ones the cost pass planned from: a cached plan whose
+			// build side has grown past the threshold switches strategy
+			// without being re-costed.
+			if sc, ok := cat.(StatsCatalog); ok {
+				if st, ok := sc.LookupStats(spec.Table); ok {
+					if int64(st.Records) <= spec.Threshold {
+						return spec.Small, nil
+					}
+					return spec.Large, nil
+				}
+			}
+			return spec.Default, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ctx.analysis != nil {
+			an, node := ctx.analysis, n
+			cp.OnChoose(func(i int) { an.setChoice(node, i) })
+		}
+		return cp, nil
 
 	default:
 		return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)

@@ -43,6 +43,13 @@ import (
 //
 // FIELDS are field names or $indexes. Comments start with '#'.
 
+// MaxDOP bounds plan-text degree-of-parallelism knobs (exchange producer
+// counts and pscan partition counts). Values are validated at parse time
+// with a positioned ParseError, so an absurd request ("producers=10e6")
+// is rejected before the server's goroutine governor — or a build — ever
+// sees it. The bound is far above any useful fan-out on one machine.
+const MaxDOP = 1024
+
 // Term is an unresolved field reference (by name or index) with an
 // optional sort direction.
 type Term struct {
@@ -316,6 +323,9 @@ func parseStage(st string, input *Node, named map[string]*Node) (*Node, error) {
 		if err != nil || name == "" || n < 1 {
 			return nil, fmt.Errorf("plan: usage: pscan TABLE N")
 		}
+		if n > MaxDOP {
+			return nil, fmt.Errorf("plan: pscan partition count %d exceeds max %d", n, MaxDOP)
+		}
 		return &Node{Kind: KindPartitionedScan, Table: name, Partitions: n}, nil
 
 	case "iscan":
@@ -403,7 +413,7 @@ func parseStage(st string, input *Node, named map[string]*Node) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Node{Kind: KindDistinct, Algo: algo, Inputs: []*Node{input}}, nil
+		return &Node{Kind: KindDistinct, Algo: algo, AlgoSet: strings.TrimSpace(rest) != "", Inputs: []*Node{input}}, nil
 
 	case "agg":
 		if err := needInput(); err != nil {
@@ -469,9 +479,10 @@ func parseAlgo(s string, dflt Algo) (Algo, error) {
 }
 
 func parseAgg(rest string, input *Node) (*Node, error) {
-	algo := AlgoHash
+	algo, algoSet := AlgoHash, false
 	if head, r := splitHead(rest); head == "hash" || head == "sort" {
 		algo, _ = parseAlgo(head, AlgoHash)
+		algoSet = true
 		rest = r
 	}
 	low := strings.ToLower(rest)
@@ -523,20 +534,21 @@ func parseAgg(rest string, input *Node) (*Node, error) {
 		aggTerms = append(aggTerms, t)
 	}
 	return &Node{
-		Kind: KindAggregate, Algo: algo,
+		Kind: KindAggregate, Algo: algo, AlgoSet: algoSet,
 		GroupTerms: groupTerms, Aggs: aggs, AggTerms: aggTerms,
 		Inputs: []*Node{input},
 	}, nil
 }
 
 func parseJoin(op, rest string, input *Node, named map[string]*Node) (*Node, error) {
-	algo := AlgoHash
+	algo, algoSet := AlgoHash, false
 	if head, r := splitHead(rest); head == "hash" || head == "merge" || head == "loops" {
 		a, err := parseAlgo(head, AlgoHash)
 		if err != nil {
 			return nil, err
 		}
 		algo = a
+		algoSet = true
 		rest = r
 	}
 	name, cond := splitHead(rest)
@@ -578,20 +590,21 @@ func parseJoin(op, rest string, input *Node, named map[string]*Node) (*Node, err
 		"fullouter": core.MatchFullOuter,
 	}[op]
 	return &Node{
-		Kind: KindMatch, MatchOp: matchOp, Algo: algo,
+		Kind: KindMatch, MatchOp: matchOp, Algo: algo, AlgoSet: algoSet,
 		LeftTerms: lterms, RightTerms: rterms,
 		Inputs: []*Node{input, right},
 	}, nil
 }
 
 func parseSetOp(op, rest string, input *Node, named map[string]*Node) (*Node, error) {
-	algo := AlgoHash
+	algo, algoSet := AlgoHash, false
 	if head, r := splitHead(rest); head == "hash" || head == "merge" || head == "sort" {
 		a, err := parseAlgo(head, AlgoHash)
 		if err != nil {
 			return nil, err
 		}
 		algo = a
+		algoSet = true
 		rest = r
 	}
 	name := strings.TrimSpace(rest)
@@ -604,16 +617,17 @@ func parseSetOp(op, rest string, input *Node, named map[string]*Node) (*Node, er
 		"difference": core.MatchDifference, "antidifference": core.MatchAntiDifference,
 	}[op]
 	return &Node{
-		Kind: KindMatch, MatchOp: matchOp, Algo: algo,
+		Kind: KindMatch, MatchOp: matchOp, Algo: algo, AlgoSet: algoSet,
 		AllFieldKeys: true,
 		Inputs:       []*Node{input, right},
 	}, nil
 }
 
 func parseDivide(rest string, input *Node, named map[string]*Node) (*Node, error) {
-	algo := AlgoHash
+	algo, algoSet := AlgoHash, false
 	if head, r := splitHead(rest); head == "hash" || head == "sort" {
 		algo, _ = parseAlgo(head, AlgoHash)
+		algoSet = true
 		rest = r
 	}
 	name, rest := splitHead(rest)
@@ -643,7 +657,7 @@ func parseDivide(rest string, input *Node, named map[string]*Node) (*Node, error
 		return nil, err
 	}
 	return &Node{
-		Kind: KindDivision, Algo: algo,
+		Kind: KindDivision, Algo: algo, AlgoSet: algoSet,
 		QuotTerms: quot, DivTerms: div, DivisTerms: divis,
 		Inputs: []*Node{input, right},
 	}, nil
@@ -665,7 +679,11 @@ func parseExchange(rest string, input *Node) (*Node, error) {
 			if err != nil {
 				return nil, fmt.Errorf("plan: bad producers=%q", val)
 			}
+			if n < 1 || n > MaxDOP {
+				return nil, fmt.Errorf("plan: producers=%d out of range 1..%d", n, MaxDOP)
+			}
 			o.Producers = n
+			o.ProducersSet = true
 		case "packet":
 			n, err := strconv.Atoi(val)
 			if err != nil {

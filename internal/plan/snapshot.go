@@ -14,6 +14,8 @@ import (
 type OpSnapshot struct {
 	Op       string               `json:"op"`
 	Stats    core.OpStatsSnapshot `json:"stats"`
+	EstRows  int64                `json:"est_rows,omitempty"`
+	Chosen   string               `json:"chosen,omitempty"`
 	Exchange *ExchangeSnapshot    `json:"exchange,omitempty"`
 	Inputs   []OpSnapshot         `json:"inputs,omitempty"`
 }
@@ -51,6 +53,12 @@ func (a *Analysis) snapshotNode(n *Node) OpSnapshot {
 	s := OpSnapshot{Op: describe(n)}
 	if st := a.stats[n]; st != nil {
 		s.Stats = st.Snapshot()
+	}
+	if e, ok := a.Estimate(n); ok {
+		s.EstRows = e
+	}
+	if n.Kind == KindChoosePlan {
+		s.Chosen = chosenLabel(n, a.Choice(n))
 	}
 	if n.Kind == KindExchange {
 		x := a.ExchangeStats(n)

@@ -27,6 +27,10 @@ type queryStatus struct {
 	Phases    phaseMillis      `json:"phases"`
 	Operators *plan.OpSnapshot `json:"operators,omitempty"`
 
+	// Replans counts how often the query's plan-cache entry has been
+	// re-costed after a cardinality mis-estimate (docs/planner.md).
+	Replans int64 `json:"replans,omitempty"`
+
 	// Resources is the query's resource bill so far, read mid-flight off
 	// the same meter every engine layer is attributing into.
 	Resources *core.ResourceSnapshot `json:"resources,omitempty"`
@@ -48,6 +52,9 @@ func (q *queryRecord) status(drilldown bool) queryStatus {
 		ElapsedMs: float64(time.Since(q.started)) / 1e6,
 		Rows:      q.rows.Load(),
 		Phases:    q.phases(),
+	}
+	if q.entry != nil {
+		st.Replans = q.entry.replanCount()
 	}
 	if an := q.analysis.Load(); an != nil {
 		snap := an.Snapshot()

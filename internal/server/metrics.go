@@ -47,6 +47,13 @@ type serverMetrics struct {
 	rowsError    *metrics.Counter
 	rowsCanceled *metrics.Counter
 
+	// Cost-based planner families.
+	plannerCosted   *metrics.Counter // templates run through the costing pass
+	plannerReplans  *metrics.Counter // cache entries re-costed after a gross mis-estimate
+	plannerFeedback *metrics.Counter // completed runs whose observed cardinalities were folded back
+	plannerHash     *metrics.Counter // choose-plan decisions, by alternative
+	plannerMerge    *metrics.Counter
+
 	// Accumulated per-query resource bills, settled once per query in
 	// finishQuery and exposed as counter funcs (CPU needs fractional
 	// seconds, which an integer Counter cannot carry). Plain atomics so
@@ -66,6 +73,19 @@ func (m *serverMetrics) rowsCounter(outcome string) *metrics.Counter {
 		return m.rowsError
 	case "canceled":
 		return m.rowsCanceled
+	}
+	return nil
+}
+
+// choiceCounter maps a choose-plan alternative label to its counter;
+// labels outside the planner's vocabulary fall back to the nil (no-op)
+// counter.
+func (m *serverMetrics) choiceCounter(alt string) *metrics.Counter {
+	switch alt {
+	case "hash":
+		return m.plannerHash
+	case "merge":
+		return m.plannerMerge
 	}
 	return nil
 }
@@ -152,6 +172,19 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.rowsOK = rows("ok")
 	m.rowsError = rows("error")
 	m.rowsCanceled = rows("canceled")
+	m.plannerCosted = r.Counter("volcano_planner_costed_total",
+		"Plan templates run through the cost-based planning pass.")
+	m.plannerReplans = r.Counter("volcano_planner_replans_total",
+		"Plan-cache entries re-costed after observed cardinalities contradicted the estimates.")
+	m.plannerFeedback = r.Counter("volcano_planner_feedback_total",
+		"Completed runs whose observed cardinalities were folded back into the plan cache.")
+	choice := func(alt string) *metrics.Counter {
+		return r.Counter("volcano_planner_choices_total",
+			"Choose-plan decisions taken at Open, by chosen alternative.",
+			metrics.Label{Key: "alt", Value: alt})
+	}
+	m.plannerHash = choice("hash")
+	m.plannerMerge = choice("merge")
 	r.SetCounterFunc("volcano_server_query_cpu_seconds_total",
 		"CPU time attributed to completed queries (derived from operator timings).",
 		func() float64 { return float64(m.queryCPUNanos.Load()) / 1e9 })

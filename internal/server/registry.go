@@ -54,6 +54,10 @@ type queryRecord struct {
 	cacheHit bool
 	started  time.Time
 
+	// entry is the plan-cache entry the query compiled through; /debug
+	// views read its re-plan count. Nil when the cache is disabled.
+	entry *cacheEntry
+
 	state atomic.Int32
 	rows  atomic.Int64 // rows streamed to the client so far
 

@@ -66,6 +66,12 @@ type Config struct {
 	// PlanCacheSize is the LRU capacity in templates (default 128; a
 	// negative value disables the cache).
 	PlanCacheSize int
+	// DisableCosting turns the cost-based planning pass off: queries
+	// execute the compiled template exactly as written, with no knob
+	// filling, no choose-plan insertion, and no cardinality feedback.
+	// Costing is on by default; plans that spell out their knobs are
+	// left alone either way.
+	DisableCosting bool
 	// FlushEvery flushes the response stream every N rows (default 64).
 	FlushEvery int
 	// BatchSize, when positive, executes every query under the
@@ -253,19 +259,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Plan phase: resolve the script to a compiled template via the cache.
-	tpl, cacheHit, err := s.compile(string(src))
-	planDur := time.Since(start)
-	s.m.phasePlan.Observe(planDur)
+	// Plan phase: resolve the script to a compiled template via the
+	// cache, then — unless costing is off — to the entry's costed
+	// derivation, whose tree has planner-chosen knobs and whose
+	// estimates feed EXPLAIN ANALYZE and the feedback loop.
+	entry, cacheHit, err := s.compile(string(src))
 	if err != nil {
+		planDur := time.Since(start)
+		s.m.phasePlan.Observe(planDur)
 		s.m.rejParse.Inc()
 		writeReject(w, http.StatusBadRequest, id, err.Error(), planDur, nil)
 		return
 	}
+	tpl := entry.tpl
+	var costed *plan.CostedPlan
+	if !s.cfg.DisableCosting {
+		costed = entry.costedFor(s.cfg.Catalog, s.m)
+		tpl = costed.Template
+	}
+	planDur := time.Since(start)
+	s.m.phasePlan.Observe(planDur)
 
 	// The query now has identity, a plan, and a start time: it enters the
 	// active registry and stays visible on /debug/queries until done.
-	rec := &queryRecord{id: id, source: tpl.Source(), batch: batch, cacheHit: cacheHit, started: start}
+	rec := &queryRecord{id: id, source: tpl.Source(), batch: batch, cacheHit: cacheHit, started: start, entry: entry}
 	rec.planNs.Store(int64(planDur))
 	if err := s.reg.add(rec); err != nil {
 		s.m.rejDuplicate.Inc()
@@ -320,7 +337,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// worker pools re-label themselves (core.Exchange does that from
 	// BuildOptions.QueryID).
 	pprof.Do(qctx, pprof.Labels("query_id", rec.id, "op", "query-handler"), func(ctx context.Context) {
-		s.execute(w, ctx, rec, tpl, batch, analyze)
+		s.execute(w, ctx, rec, entry, costed, tpl, batch, analyze)
 	})
 }
 
@@ -377,20 +394,20 @@ func (s *Server) currentCatalogVersion() string {
 	return s.catalogVersion
 }
 
-// compile resolves a plan source to a template via the cache; the bool
-// reports whether the lookup hit (so the query's lifecycle record can
-// tell a reused template from a fresh compile).
-func (s *Server) compile(src string) (*plan.Template, bool, error) {
+// compile resolves a plan source to a cache entry; the bool reports
+// whether the lookup hit (so the query's lifecycle record can tell a
+// reused template from a fresh compile). With the cache disabled the
+// entry is untracked but fully functional.
+func (s *Server) compile(src string) (*cacheEntry, bool, error) {
 	key := cacheKey(s.currentCatalogVersion(), src)
-	if tpl, ok := s.cache.get(key); ok {
-		return tpl, true, nil
+	if e, ok := s.cache.get(key); ok {
+		return e, true, nil
 	}
 	tpl, err := plan.Compile(src)
 	if err != nil {
 		return nil, false, err
 	}
-	s.cache.put(key, tpl)
-	return tpl, false, nil
+	return s.cache.put(key, tpl), false, nil
 }
 
 // execute builds a fresh iterator tree from the template and streams its
@@ -401,7 +418,7 @@ func (s *Server) compile(src string) (*plan.Template, bool, error) {
 // atomic, so rec exposes live per-operator progress to /debug/queries
 // while the query runs, and the final snapshot feeds the slow-query log
 // (and, with X-Volcano-Analyze, the trailer) when it completes.
-func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryRecord, tpl *plan.Template, batch int, analyze bool) {
+func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryRecord, entry *cacheEntry, costed *plan.CostedPlan, tpl *plan.Template, batch int, analyze bool) {
 	execStart := time.Now()
 	rec.state.Store(stateExecuting)
 	opts := plan.BuildOptions{
@@ -411,6 +428,9 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 		BatchSize: batch,
 		QueryID:   rec.id,
 		Meter:     &rec.meter,
+	}
+	if costed != nil {
+		opts.Estimates = costed.Estimates
 	}
 	// With a coordinator configured, offer every distributable exchange
 	// cut to the worker fleet; the summary collects what actually shipped
@@ -582,6 +602,15 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 	if analyze {
 		t.Analyze = an.String()
 	}
+	if costed != nil {
+		s.recordChoices(costed, an)
+		// Feedback only on clean completion: a canceled or errored run
+		// observed a truncated row flow, which would look like a gross
+		// mis-estimate and trigger a spurious re-plan.
+		if t.Status == "ok" {
+			entry.feedback(costed, an, s.m)
+		}
+	}
 	bumpDeadline()
 	_, _ = w.Write(t.render())
 	if flusher != nil {
@@ -589,6 +618,27 @@ func (s *Server) execute(w http.ResponseWriter, ctx context.Context, rec *queryR
 	}
 
 	s.finishQuery(rec, t.Status, t.Error)
+}
+
+// recordChoices settles the run's choose-plan decisions into the
+// volcano_planner_choices_total{alt} family.
+func (s *Server) recordChoices(cp *plan.CostedPlan, an *plan.Analysis) {
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if n.Kind == plan.KindChoosePlan {
+			if i := an.Choice(n); i >= 0 {
+				alt := strconv.Itoa(i)
+				if n.Choose != nil && i < len(n.Choose.Labels) {
+					alt = n.Choose.Labels[i]
+				}
+				s.m.choiceCounter(alt).Inc()
+			}
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(cp.Template.Root())
 }
 
 // finishQuery settles a query's lifecycle accounting: rows by outcome,

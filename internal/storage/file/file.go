@@ -22,6 +22,10 @@ type Volume struct {
 	vtoc    sync.Mutex
 	files   map[string]*meta
 	indexes map[string]*indexMeta
+	// statsDistinct holds per-field distinct-value estimates recorded by
+	// Analyze, keyed by file name (see stats.go). Persisted alongside the
+	// VTOC on durable volumes.
+	statsDistinct map[string][]int64
 
 	// Durable volumes (Format/OpenVolume) persist the VTOC in a page
 	// chain rooted at vtocRoot; see vtoc.go.
@@ -110,6 +114,7 @@ func (v *Volume) Delete(name string) error {
 	m, ok := v.files[name]
 	if ok {
 		delete(v.files, name)
+		delete(v.statsDistinct, name)
 	}
 	v.vtoc.Unlock()
 	if !ok {

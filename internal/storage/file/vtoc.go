@@ -2,6 +2,8 @@ package file
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/record"
 	"repro/internal/storage/btree"
@@ -19,6 +21,8 @@ import (
 //
 //	kind 0: file  (first/last/pages/records used)
 //	kind 1: index (aux1 = btree root page, aux2 = height, records = count)
+//	kind 2: stats (aux1 = field count, schema field = comma-joined
+//	        per-field distinct estimates; see stats.go)
 var vtocSchema = record.MustSchema(
 	record.Field{Name: "name", Type: record.TString},
 	record.Field{Name: "kind", Type: record.TInt},
@@ -34,6 +38,7 @@ var vtocSchema = record.MustSchema(
 const (
 	vtocKindFile  = 0
 	vtocKindIndex = 1
+	vtocKindStats = 2
 )
 
 // indexMeta is a catalogued B+-tree.
@@ -152,6 +157,15 @@ func (v *Volume) loadEntry(data []byte) error {
 			height: int(vals[7].I),
 			count:  int(vals[5].I),
 		}
+	case vtocKindStats:
+		distinct, err := parseDistinctList(string(vals[8].S), int(vals[6].I))
+		if err != nil {
+			return fmt.Errorf("file: VTOC stats entry %q: %w", name, err)
+		}
+		if v.statsDistinct == nil {
+			v.statsDistinct = make(map[string][]int64)
+		}
+		v.statsDistinct[name] = distinct
 	default:
 		return fmt.Errorf("file: VTOC entry %q has unknown kind %d", name, vals[1].I)
 	}
@@ -175,6 +189,50 @@ func fileEntry(m *meta) ([]byte, error) {
 		record.Int(0),
 		record.Str(spec),
 	})
+}
+
+// statsEntry renders one per-file statistics entry: the distinct
+// estimates are joined into the (otherwise unused) schema string field,
+// with the field count in aux1 as a decode cross-check.
+func statsEntry(name string, distinct []int64) ([]byte, error) {
+	parts := make([]string, len(distinct))
+	for i, d := range distinct {
+		parts[i] = strconv.FormatInt(d, 10)
+	}
+	return vtocSchema.Encode([]record.Value{
+		record.Str(name),
+		record.Int(vtocKindStats),
+		record.Int(0),
+		record.Int(0),
+		record.Int(0),
+		record.Int(0),
+		record.Int(int64(len(distinct))),
+		record.Int(0),
+		record.Str(strings.Join(parts, ",")),
+	})
+}
+
+// parseDistinctList decodes a statsEntry's payload.
+func parseDistinctList(s string, want int) ([]int64, error) {
+	if s == "" {
+		if want != 0 {
+			return nil, fmt.Errorf("empty list, want %d fields", want)
+		}
+		return []int64{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("%d values, want %d", len(parts), want)
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
 }
 
 func indexEntry(name string, im *indexMeta) ([]byte, error) {
@@ -215,6 +273,17 @@ func (v *Volume) Save() error {
 	}
 	for name, im := range v.indexes {
 		e, err := indexEntry(name, im)
+		if err != nil {
+			v.vtoc.Unlock()
+			return err
+		}
+		entries = append(entries, e)
+	}
+	for name, distinct := range v.statsDistinct {
+		if _, live := v.files[name]; !live {
+			continue
+		}
+		e, err := statsEntry(name, distinct)
 		if err != nil {
 			v.vtoc.Unlock()
 			return err
